@@ -1,0 +1,58 @@
+// Command experiments reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp fig7            # one experiment
+//	experiments -exp all             # the full evaluation
+//	experiments -list                # available experiment ids
+//	experiments -exp fig7 -scale 0.5 # smaller inputs (faster, noisier)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"ldsprefetch/internal/exp"
+	"ldsprefetch/internal/workload"
+)
+
+func main() {
+	id := flag.String("exp", "", "experiment id (see -list), or \"all\"")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	scale := flag.Float64("scale", 1.0, "input scale (1.0 = reference inputs)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations")
+	format := flag.String("format", "text", "output format: text, json, or csv")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -exp <id> required (use -list to see ids)")
+		os.Exit(2)
+	}
+	ctx := exp.NewContext()
+	ctx.Params = workload.Params{Scale: *scale, Seed: *seed}
+	ctx.TrainParams = workload.Params{Scale: *scale * workload.Train().Scale, Seed: workload.Train().Seed}
+	ctx.Parallel = *par
+
+	reports, err := exp.Run(ctx, *id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, r := range reports {
+		out, err := r.Render(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,142 @@
+// Command ldssim runs one benchmark (or a comma-separated multi-core mix)
+// under a chosen prefetching configuration and prints the key metrics.
+//
+// Usage:
+//
+//	ldssim -bench mst -config ecdp+throttle
+//	ldssim -bench health -config stream -scale 0.5
+//	ldssim -bench xalancbmk,astar -config ecdp+throttle   # dual-core
+//	ldssim -list
+//
+// Configurations: none, stream, cdp, cdp+throttle, ecdp, ecdp+throttle,
+// markov, ghb, dbp, ideal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/profiling"
+	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/workload"
+)
+
+func hints(bench string, p workload.Params) *core.HintTable {
+	g, err := workload.Get(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prof := profiling.Collect(g.Build(p), memsys.DefaultConfig(), cpu.DefaultConfig())
+	return prof.Hints(0)
+}
+
+func main() {
+	bench := flag.String("bench", "mst", "benchmark name")
+	config := flag.String("config", "ecdp+throttle", "prefetching configuration")
+	scale := flag.Float64("scale", 1.0, "input scale")
+	seed := flag.Int64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			g, _ := workload.Get(n)
+			kind := "streaming"
+			if g.PointerIntensive {
+				kind = "pointer-intensive"
+			}
+			fmt.Printf("%-12s %-18s %s\n", n, kind, g.Description)
+		}
+		return
+	}
+
+	p := workload.Params{Scale: *scale, Seed: *seed}
+	train := workload.Train()
+	train.Scale *= *scale
+	benches := strings.Split(*bench, ",")
+
+	mergedHints := func() *core.HintTable {
+		merged := core.NewHintTable()
+		for _, b := range benches {
+			h := hints(b, train)
+			for _, pc := range h.PCs() {
+				v, _ := h.Lookup(pc)
+				merged.Set(pc, v)
+			}
+		}
+		return merged
+	}
+
+	var setup sim.Setup
+	switch *config {
+	case "none":
+		setup = sim.Setup{Name: "none"}
+	case "stream":
+		setup = sim.Baseline()
+	case "cdp":
+		setup = sim.Setup{Name: "stream+cdp", Stream: true, CDP: true}
+	case "cdp+throttle":
+		setup = sim.Setup{Name: "stream+cdp+thr", Stream: true, CDP: true, Throttle: true}
+	case "ecdp":
+		setup = sim.Setup{Name: "stream+ecdp", Stream: true, CDP: true, Hints: mergedHints()}
+	case "ecdp+throttle":
+		setup = sim.Setup{Name: "stream+ecdp+thr", Stream: true, CDP: true,
+			Hints: mergedHints(), Throttle: true}
+	case "markov":
+		setup = sim.Setup{Name: "stream+markov", Stream: true, Markov: true}
+	case "ghb":
+		setup = sim.Setup{Name: "ghb", GHB: true}
+	case "dbp":
+		setup = sim.Setup{Name: "stream+dbp", Stream: true, DBP: true}
+	case "ideal":
+		setup = sim.Setup{Name: "ideal-lds", Stream: true, IdealLDS: true}
+	default:
+		fmt.Fprintf(os.Stderr, "ldssim: unknown config %q\n", *config)
+		os.Exit(2)
+	}
+
+	if len(benches) > 1 {
+		mr, err := sim.RunMulti(benches, p, setup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("mix              %s\n", *bench)
+		fmt.Printf("config           %s\n", setup.Name)
+		fmt.Printf("weighted speedup %.4f\n", mr.WeightedSpeedup)
+		fmt.Printf("hmean speedup    %.4f\n", mr.HmeanSpeedup)
+		fmt.Printf("bus transfers    %d (%.2f per kilo-instruction)\n", mr.BusTransfers, mr.BusPKI)
+		for i, pc := range mr.PerCore {
+			fmt.Printf("core %d (%s): IPC %.4f shared, %.4f alone\n",
+				i, pc.Benchmark, pc.IPC, mr.AloneIPC[i])
+		}
+		return
+	}
+
+	r, err := sim.RunSingle(*bench, p, setup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchmark      %s\n", r.Benchmark)
+	fmt.Printf("config         %s\n", setup.Name)
+	fmt.Printf("instructions   %d\n", r.Retired)
+	fmt.Printf("cycles         %d\n", r.Cycles)
+	fmt.Printf("IPC            %.4f\n", r.IPC)
+	fmt.Printf("BPKI           %.2f\n", r.BPKI)
+	fmt.Printf("L2 demand miss %d\n", r.DemandMisses)
+	for src := prefetch.SrcStream; src < prefetch.NumSources; src++ {
+		if r.Issued[src] == 0 {
+			continue
+		}
+		fmt.Printf("%-8s issued %d, used %d (accuracy %.3f, coverage %.3f)\n",
+			src, r.Issued[src], r.Used[src], r.Accuracy[src], r.Coverage[src])
+	}
+}

@@ -1,0 +1,53 @@
+// Command profilegen runs the paper's compiler profiling pass for a
+// benchmark and prints the resulting pointer-group classification and hint
+// bit vectors (the information the compiler would encode into the new load
+// instructions of Section 3).
+//
+// Usage:
+//
+//	profilegen -bench mst
+//	profilegen -bench health -scale 0.5 -top 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/profiling"
+	"ldsprefetch/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "mst", "benchmark name")
+	scale := flag.Float64("scale", workload.Train().Scale, "profiling input scale")
+	seed := flag.Int64("seed", workload.Train().Seed, "profiling input seed")
+	top := flag.Int("top", 20, "pointer groups to print")
+	flag.Parse()
+
+	g, err := workload.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tr := g.Build(workload.Params{Scale: *scale, Seed: *seed})
+	prof := profiling.Collect(tr, memsys.DefaultConfig(), cpu.DefaultConfig())
+
+	b, h := prof.BeneficialHarmful()
+	fmt.Printf("benchmark %s: %d pointer groups observed (%d beneficial, %d harmful)\n\n",
+		*bench, b+h, b, h)
+	fmt.Printf("%-30s %10s %10s %10s\n", "pointer group", "useful", "useless", "usefulness")
+	for _, pg := range prof.TopPGs(*top) {
+		s := prof.PGs[pg]
+		fmt.Printf("%-30s %10d %10d %10.3f\n", pg.String(), s.Useful, s.Useless, s.Usefulness())
+	}
+
+	hints := prof.Hints(0)
+	fmt.Printf("\nhint table (%d loads):\n", hints.Len())
+	for _, pc := range hints.PCs() {
+		v, _ := hints.Lookup(pc)
+		fmt.Printf("  pc=%#x pos=%#08x neg=%#08x\n", pc, v.Pos, v.Neg)
+	}
+}

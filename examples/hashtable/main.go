@@ -1,0 +1,61 @@
+// Hashtable walks through the paper's running example (Figure 5): the mst
+// benchmark's hash-table lookup, whose chain-next pointer group is
+// beneficial while the node data pointers are harmful. The example runs the
+// profiling pass, prints the pointer-group classification, and shows how
+// original CDP's indiscriminate prefetching compares with hint-filtered
+// ECDP.
+//
+//	go run ./examples/hashtable
+package main
+
+import (
+	"fmt"
+
+	"ldsprefetch"
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/profiling"
+	"ldsprefetch/internal/workload"
+)
+
+func main() {
+	in := workload.Params{Scale: 0.4, Seed: 1}
+	train := workload.Params{Scale: 0.25, Seed: 1009}
+
+	// Run the "compiler" profiling pass and inspect the pointer groups of
+	// the hash-lookup loop's key-compare load (paper Figure 5: the load
+	// that misses while walking a bucket chain).
+	g, _ := workload.Get("mst")
+	prof := profiling.Collect(g.Build(train), memsys.DefaultConfig(), cpu.DefaultConfig())
+
+	fmt.Println("pointer groups of the mst hash lookup (paper Fig. 5):")
+	fmt.Printf("%-30s %8s %8s %12s %s\n", "PG", "useful", "useless", "usefulness", "verdict")
+	for _, pg := range prof.TopPGs(10) {
+		s := prof.PGs[pg]
+		verdict := "harmful"
+		if s.Usefulness() > profiling.BeneficialThreshold {
+			verdict = "BENEFICIAL"
+		}
+		fmt.Printf("%-30s %8d %8d %12.3f %s\n", pg, s.Useful, s.Useless, s.Usefulness(), verdict)
+	}
+	fmt.Println("\n(node layout: key@0, data1*@4, data2*@8, next*@12 — the next")
+	fmt.Println(" pointer at byte offset +12 is the chain walk; data pointers are")
+	fmt.Println(" dereferenced only at the single matching node)")
+
+	// Measure the three systems.
+	hints := prof.Hints(0)
+	base, _ := ldsprefetch.Run("mst", in, ldsprefetch.Baseline())
+	cdp, _ := ldsprefetch.Run("mst", in, ldsprefetch.OriginalCDP())
+	ecdpT, _ := ldsprefetch.Run("mst", in, ldsprefetch.Proposal(hints))
+
+	fmt.Printf("\n%-24s %8s %8s %12s\n", "configuration", "IPC", "BPKI", "CDP accuracy")
+	fmt.Printf("%-24s %8.4f %8.1f %12s\n", "stream baseline", base.IPC, base.BPKI, "-")
+	fmt.Printf("%-24s %8.4f %8.1f %12.3f\n", "stream + original CDP", cdp.IPC, cdp.BPKI,
+		cdp.Accuracy[prefetch.SrcCDP])
+	fmt.Printf("%-24s %8.4f %8.1f %12.3f\n", "proposal (ECDP+throttle)", ecdpT.IPC, ecdpT.BPKI,
+		ecdpT.Accuracy[prefetch.SrcCDP])
+	fmt.Println("\nOriginal CDP prefetches every pointer in every fetched block —")
+	fmt.Println("including all the data pointers — cratering accuracy and bandwidth.")
+	fmt.Println("ECDP's hint bit vector keeps only the beneficial next-pointer group.")
+}

@@ -1,0 +1,3 @@
+module ldsprefetch
+
+go 1.22

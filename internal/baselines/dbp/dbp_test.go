@@ -1,0 +1,119 @@
+package dbp
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/prefetch"
+)
+
+type sink struct{ reqs []prefetch.Request }
+
+func (s *sink) Issue(r prefetch.Request) { s.reqs = append(s.reqs, r) }
+
+func load(pc, addr, value uint32) memsys.AccessEvent {
+	return memsys.AccessEvent{PC: pc, Addr: addr, Value: value, IsLoad: true}
+}
+
+func TestLearnsProducerConsumer(t *testing.T) {
+	s := &sink{}
+	p := New(128, 256, s)
+	// Producer (pc 10) loads a pointer; consumer (pc 20) dereferences it
+	// at offset 8. After one observation, the next producer load triggers
+	// a prefetch of value+8.
+	p.OnAccess(load(10, 0x1000_0000, 0x1000_4000))
+	p.OnAccess(load(20, 0x1000_4008, 7)) // addr = producer value + 8
+	p.OnAccess(load(10, 0x1000_0100, 0x1000_8000))
+	if len(s.reqs) != 1 {
+		t.Fatalf("issued %d prefetches, want 1", len(s.reqs))
+	}
+	if s.reqs[0].Addr != 0x1000_8008 {
+		t.Fatalf("prefetch %#x, want producer value + learned offset 0x10008008", s.reqs[0].Addr)
+	}
+	if s.reqs[0].Src != prefetch.SrcDBP {
+		t.Fatalf("source = %v", s.reqs[0].Src)
+	}
+}
+
+func TestOffsetWindowBound(t *testing.T) {
+	s := &sink{}
+	p := New(128, 256, s)
+	p.OnAccess(load(10, 0x1000_0000, 0x1000_4000))
+	p.OnAccess(load(20, 0x1000_4000+2000, 7)) // offset too large: no correlation
+	p.OnAccess(load(10, 0x1000_0100, 0x1000_8000))
+	if len(s.reqs) != 0 {
+		t.Fatalf("out-of-window offset learned anyway: %+v", s.reqs)
+	}
+}
+
+func TestStoresIgnored(t *testing.T) {
+	s := &sink{}
+	p := New(128, 256, s)
+	ev := load(10, 0x1000_0000, 0x1000_4000)
+	ev.IsLoad = false
+	p.OnAccess(ev)
+	p.OnAccess(load(20, 0x1000_4008, 7))
+	p.OnAccess(load(10, 0x1000_0100, 0x1000_8000))
+	if len(s.reqs) != 0 {
+		t.Fatal("store must not act as a producer")
+	}
+}
+
+func TestZeroValuesNotProducers(t *testing.T) {
+	s := &sink{}
+	p := New(128, 256, s)
+	p.OnAccess(load(10, 0x1000_0000, 0))
+	p.OnAccess(load(20, 0x0000_0008, 7))
+	if len(s.reqs) != 0 {
+		t.Fatal("zero values must not correlate")
+	}
+}
+
+func TestTableCapacity(t *testing.T) {
+	s := &sink{}
+	p := New(128, 4, s)
+	// Learn 8 distinct producers; table capacity 4 → oldest evicted, no
+	// panic, newest still prefetch.
+	for i := uint32(0); i < 8; i++ {
+		pc := 100 + i
+		p.OnAccess(load(pc, 0x1000_0000+i*0x1000, 0x1200_0000+i*0x1000))
+		p.OnAccess(load(200+i, 0x1200_0000+i*0x1000+4, 7))
+	}
+	before := len(s.reqs)
+	p.OnAccess(load(107, 0x1000_9000, 0x1300_0000))
+	if len(s.reqs) != before+1 {
+		t.Fatalf("recent producer lost after eviction: %d -> %d", before, len(s.reqs))
+	}
+}
+
+func TestChainedWalkPrefetchesOneAhead(t *testing.T) {
+	// A linked-list walk: the same PC is both producer and consumer.
+	// DBP learns pc->pc with offset 0 and then runs one node ahead.
+	s := &sink{}
+	p := New(128, 256, s)
+	nodes := []uint32{0x1000_0000, 0x1000_4000, 0x1000_8000, 0x1000_c000}
+	for i := 0; i < len(nodes)-1; i++ {
+		p.OnAccess(load(10, nodes[i], nodes[i+1]))
+	}
+	// After the self-correlation is learned, each load prefetches its
+	// value (the next node).
+	if len(s.reqs) == 0 {
+		t.Fatal("chained walk produced no prefetches")
+	}
+	last := s.reqs[len(s.reqs)-1]
+	if last.Addr != nodes[3] {
+		t.Fatalf("last prefetch %#x, want next node %#x", last.Addr, nodes[3])
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	p := New(0, 0, &sink{})
+	if p.Name() != "dbp" || p.Source() != prefetch.SrcDBP {
+		t.Fatal("identity mismatch")
+	}
+	p.SetLevel(prefetch.Moderate)
+	if p.Level() != prefetch.Moderate {
+		t.Fatal("level not stored")
+	}
+	p.OnFill(memsys.FillEvent{})
+}

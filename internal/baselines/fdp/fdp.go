@@ -1,0 +1,126 @@
+// Package fdp implements the feedback-directed prefetching baseline
+// (Srinath et al., HPCA 2007) compared against in paper Section 6.5: each
+// prefetcher is throttled *individually* from its own accuracy, lateness and
+// pollution — six thresholds in total — with no knowledge of the other
+// prefetchers. The paper's coordinated throttling outperforms FDP precisely
+// because FDP cannot tell whether a prefetcher performs poorly on its own or
+// because a rival interferes with it.
+package fdp
+
+import "ldsprefetch/internal/prefetch"
+
+// Thresholds are FDP's six tuning knobs.
+type Thresholds struct {
+	// AHigh / ALow split accuracy into high / medium / low.
+	AHigh, ALow float64
+	// TLateness is the late fraction (late / used) above which prefetches
+	// are considered late.
+	TLateness float64
+	// TPollution is the pollution rate (polluting evictions per demand
+	// miss) above which the prefetcher is considered polluting.
+	TPollution float64
+	// Up/Down hysteresis: consecutive intervals required before acting.
+	UpStreak, DownStreak int
+}
+
+// DefaultThresholds returns values adapted from Srinath et al. to this
+// simulator's interval definition.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		AHigh:      0.75,
+		ALow:       0.40,
+		TLateness:  0.40,
+		TPollution: 0.01,
+		UpStreak:   1,
+		DownStreak: 1,
+	}
+}
+
+type controlled struct {
+	src    prefetch.Source
+	t      prefetch.Throttleable
+	streak int
+}
+
+// Controller throttles each registered prefetcher individually.
+type Controller struct {
+	th  Thresholds
+	fb  *prefetch.Feedback
+	pfs []controlled
+}
+
+// NewController builds an FDP controller over fb.
+func NewController(th Thresholds, fb *prefetch.Feedback) *Controller {
+	return &Controller{th: th, fb: fb}
+}
+
+// Add registers a prefetcher for individual throttling.
+func (c *Controller) Add(src prefetch.Source, t prefetch.Throttleable) {
+	c.pfs = append(c.pfs, controlled{src: src, t: t})
+}
+
+// Install hooks the controller onto the feedback interval boundary.
+func (c *Controller) Install() {
+	prev := c.fb.OnInterval
+	c.fb.OnInterval = func() {
+		if prev != nil {
+			prev()
+		}
+		c.Round()
+	}
+}
+
+// Round applies the FDP rule table to each prefetcher in isolation:
+//
+//	accuracy high  & late          → throttle up
+//	accuracy high  & not late      → no change
+//	accuracy medium& late          → throttle up
+//	accuracy medium& polluting     → throttle down
+//	accuracy medium& otherwise     → no change
+//	accuracy low                   → throttle down
+func (c *Controller) Round() {
+	for i := range c.pfs {
+		p := &c.pfs[i]
+		st := &c.fb.Sources[p.src]
+		acc := c.fb.Accuracy(p.src)
+		late := 0.0
+		if st.Used.Value() > 0 {
+			late = st.Late.Value() / st.Used.Value()
+		}
+		pol := 0.0
+		if m := c.fb.DemandMisses.Value(); m > 0 {
+			pol = st.Pollution.Value() / m
+		}
+		var dir int
+		switch {
+		case acc >= c.th.AHigh:
+			if late > c.th.TLateness {
+				dir = 1
+			}
+		case acc >= c.th.ALow:
+			if late > c.th.TLateness {
+				dir = 1
+			} else if pol > c.th.TPollution {
+				dir = -1
+			}
+		default:
+			dir = -1
+		}
+		switch {
+		case dir > 0:
+			p.streak++
+			if p.streak >= c.th.UpStreak {
+				p.t.SetLevel(p.t.Level() + 1)
+				p.streak = 0
+			}
+		case dir < 0:
+			p.streak--
+			if -p.streak >= c.th.DownStreak {
+				p.t.SetLevel(p.t.Level() - 1)
+				p.streak = 0
+			}
+		default:
+			p.streak = 0
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package fdp
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/prefetch"
+)
+
+type fakePF struct{ level prefetch.AggLevel }
+
+func (f *fakePF) Level() prefetch.AggLevel     { return f.level }
+func (f *fakePF) SetLevel(l prefetch.AggLevel) { f.level = l.Clamp() }
+
+func setupInterval(fb *prefetch.Feedback, src prefetch.Source, issued, used, late, pol, misses float64) {
+	s := &fb.Sources[src]
+	s.Issued.Add(issued)
+	s.Used.Add(used)
+	s.Late.Add(late)
+	s.Pollution.Add(pol)
+	fb.DemandMisses.Add(misses)
+	fb.Eviction() // interval length 1 closes the interval
+}
+
+func TestLowAccuracyThrottlesDown(t *testing.T) {
+	fb := prefetch.NewFeedback(1)
+	p := &fakePF{level: prefetch.Aggressive}
+	c := NewController(DefaultThresholds(), fb)
+	c.Add(prefetch.SrcStream, p)
+	c.Install()
+	setupInterval(fb, prefetch.SrcStream, 100, 10, 0, 0, 100)
+	if p.level != prefetch.Moderate {
+		t.Fatalf("level = %v, want throttled down", p.level)
+	}
+}
+
+func TestHighAccuracyLateThrottlesUp(t *testing.T) {
+	fb := prefetch.NewFeedback(1)
+	p := &fakePF{level: prefetch.Conservative}
+	c := NewController(DefaultThresholds(), fb)
+	c.Add(prefetch.SrcCDP, p)
+	c.Install()
+	setupInterval(fb, prefetch.SrcCDP, 100, 90, 80, 0, 100)
+	if p.level != prefetch.Moderate {
+		t.Fatalf("level = %v, want throttled up (accurate but late)", p.level)
+	}
+}
+
+func TestHighAccuracyTimelyUnchanged(t *testing.T) {
+	fb := prefetch.NewFeedback(1)
+	p := &fakePF{level: prefetch.Moderate}
+	c := NewController(DefaultThresholds(), fb)
+	c.Add(prefetch.SrcCDP, p)
+	c.Install()
+	setupInterval(fb, prefetch.SrcCDP, 100, 90, 5, 0, 100)
+	if p.level != prefetch.Moderate {
+		t.Fatalf("level = %v, want unchanged", p.level)
+	}
+}
+
+func TestMediumAccuracyPollutingThrottlesDown(t *testing.T) {
+	fb := prefetch.NewFeedback(1)
+	p := &fakePF{level: prefetch.Moderate}
+	c := NewController(DefaultThresholds(), fb)
+	c.Add(prefetch.SrcStream, p)
+	c.Install()
+	// Accuracy 0.5 (medium), not late, pollution 10 per 100 misses.
+	setupInterval(fb, prefetch.SrcStream, 100, 50, 0, 10, 100)
+	if p.level != prefetch.Conservative {
+		t.Fatalf("level = %v, want throttled down (polluting)", p.level)
+	}
+}
+
+func TestIndividualIgnoresRival(t *testing.T) {
+	// FDP throttles each prefetcher from its own metrics only: a
+	// low-accuracy stream goes down even when CDP is doing great, and
+	// vice versa — no coordination.
+	fb := prefetch.NewFeedback(1)
+	sp := &fakePF{level: prefetch.Aggressive}
+	cd := &fakePF{level: prefetch.Conservative}
+	c := NewController(DefaultThresholds(), fb)
+	c.Add(prefetch.SrcStream, sp)
+	c.Add(prefetch.SrcCDP, cd)
+	c.Install()
+	fb.Sources[prefetch.SrcStream].Issued.Add(100)
+	fb.Sources[prefetch.SrcStream].Used.Add(5)
+	fb.Sources[prefetch.SrcCDP].Issued.Add(100)
+	fb.Sources[prefetch.SrcCDP].Used.Add(90)
+	fb.Sources[prefetch.SrcCDP].Late.Add(60)
+	fb.DemandMisses.Add(100)
+	fb.Eviction()
+	if sp.level != prefetch.Moderate {
+		t.Fatalf("stream level = %v, want down", sp.level)
+	}
+	if cd.level != prefetch.Moderate {
+		t.Fatalf("cdp level = %v, want up (late)", cd.level)
+	}
+}
+
+func TestStreakHysteresis(t *testing.T) {
+	th := DefaultThresholds()
+	th.DownStreak = 2
+	fb := prefetch.NewFeedback(1)
+	p := &fakePF{level: prefetch.Aggressive}
+	c := NewController(th, fb)
+	c.Add(prefetch.SrcStream, p)
+	c.Install()
+	setupInterval(fb, prefetch.SrcStream, 100, 10, 0, 0, 100)
+	if p.level != prefetch.Aggressive {
+		t.Fatalf("level moved after one interval despite streak=2")
+	}
+	setupInterval(fb, prefetch.SrcStream, 100, 10, 0, 0, 100)
+	if p.level != prefetch.Moderate {
+		t.Fatalf("level = %v, want down after two intervals", p.level)
+	}
+}

@@ -1,0 +1,171 @@
+// Package cache implements the set-associative caches of the simulated
+// memory hierarchy: LRU replacement, dirty bits, fill timestamps (so late
+// prefetches are modelled), and the per-line prefetch metadata the paper's
+// feedback mechanism needs ("the tag entry of each cache block is extended by
+// one prefetched bit per prefetcher").
+package cache
+
+import (
+	"fmt"
+
+	"ldsprefetch/internal/prefetch"
+)
+
+// Line is one cache line's tag-store state.
+type Line struct {
+	// Tag is the block address (addr >> blockShift) stored in this line.
+	Tag uint32
+	// ReadyAt is the cycle the fill completed; a demand access earlier than
+	// this observes the remaining fill latency (late prefetch).
+	ReadyAt int64
+	// IssuedAt is the cycle the fill request was created; a demand that
+	// merges with an in-flight prefetch is promoted to demand priority and
+	// completes no later than IssuedAt plus the uncontended memory latency.
+	IssuedAt int64
+	// PG is the root pointer group the fill is attributed to (CDP fills).
+	PG prefetch.PGKey
+	// PrefSrc is the prefetcher that filled the line (SrcDemand for demand
+	// fills). This implements the paper's per-prefetcher prefetched bits.
+	PrefSrc prefetch.Source
+	// Depth is the CDP recursion depth of the fill.
+	Depth uint8
+	// Valid marks the line as holding a block.
+	Valid bool
+	// Dirty marks the block as modified (eviction causes a writeback).
+	Dirty bool
+	// Used marks a prefetched line as having been consumed by a demand
+	// request. Demand fills are born Used.
+	Used bool
+
+	lru uint64
+}
+
+// Cache is a set-associative cache tag store. It tracks no data contents —
+// block data always comes from the simulated memory image, which the replay
+// keeps consistent in program order.
+type Cache struct {
+	name       string
+	sets       [][]Line
+	blockShift uint
+	setShift   uint
+	setMask    uint32
+	tick       uint64
+
+	// Evictions counts valid lines displaced (the paper's interval unit).
+	Evictions int64
+}
+
+// New constructs a cache. sizeBytes, ways, and blockSize must yield a
+// power-of-two number of sets.
+func New(name string, sizeBytes, ways, blockSize int) *Cache {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: block size %d not a power of two", name, blockSize))
+	}
+	nsets := sizeBytes / (ways * blockSize)
+	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets (size %d, ways %d, block %d) not a power of two",
+			name, nsets, sizeBytes, ways, blockSize))
+	}
+	c := &Cache{
+		name:    name,
+		sets:    make([][]Line, nsets),
+		setMask: uint32(nsets - 1),
+		blockShift: func() uint {
+			s := uint(0)
+			for 1<<s != blockSize {
+				s++
+			}
+			return s
+		}(),
+	}
+	lines := make([]Line, nsets*ways)
+	for i := range c.sets {
+		c.sets[i] = lines[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return c
+}
+
+// BlockShift returns log2 of the block size.
+func (c *Cache) BlockShift() uint { return c.blockShift }
+
+// BlockAddr aligns addr down to its block.
+func (c *Cache) BlockAddr(addr uint32) uint32 {
+	return addr &^ ((1 << c.blockShift) - 1)
+}
+
+func (c *Cache) set(addr uint32) []Line {
+	return c.sets[(addr>>c.blockShift)&c.setMask]
+}
+
+// Lookup finds the line holding addr. If touch is true a hit refreshes LRU.
+// Returns nil on miss.
+func (c *Cache) Lookup(addr uint32, touch bool) *Line {
+	tag := addr >> c.blockShift
+	set := c.set(addr)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			if touch {
+				c.tick++
+				set[i].lru = c.tick
+			}
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Insert places a block into the cache, evicting the LRU line of the set if
+// necessary. It returns the inserted line (for the caller to set metadata)
+// and, if a valid line was displaced, a copy of the victim.
+func (c *Cache) Insert(addr uint32) (*Line, Line, bool) {
+	tag := addr >> c.blockShift
+	set := c.set(addr)
+	victim := &set[0]
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			// Already present (e.g. racing fills); refresh in place.
+			victim = &set[i]
+			c.tick++
+			victim.lru = c.tick
+			return victim, Line{}, false
+		}
+		if !set[i].Valid {
+			victim = &set[i]
+		} else if victim.Valid && set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	var evicted Line
+	had := victim.Valid
+	if had {
+		evicted = *victim
+		c.Evictions++
+	}
+	c.tick++
+	*victim = Line{Tag: tag, Valid: true, lru: c.tick}
+	return victim, evicted, had
+}
+
+// Invalidate drops the block holding addr if present and returns a copy.
+func (c *Cache) Invalidate(addr uint32) (Line, bool) {
+	if l := c.Lookup(addr, false); l != nil {
+		old := *l
+		*l = Line{}
+		return old, true
+	}
+	return Line{}, false
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// ForEach calls f for every valid line (end-of-run accounting).
+func (c *Cache) ForEach(f func(*Line)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].Valid {
+				f(&set[i])
+			}
+		}
+	}
+}

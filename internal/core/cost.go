@@ -1,0 +1,72 @@
+package core
+
+import "fmt"
+
+// HardwareCost itemizes the storage cost of the proposal, reproducing paper
+// Table 7. All quantities are in bits.
+type HardwareCost struct {
+	// PrefetchedBits is the per-L2-block prefetched-bit storage
+	// (one bit per prefetcher per block).
+	PrefetchedBits int
+	// CounterBits is the feedback counter storage for coordinated
+	// throttling.
+	CounterBits int
+	// MSHRHintBits is the per-MSHR storage recording the missing load's
+	// block offset and hint bit vector.
+	MSHRHintBits int
+}
+
+// CostConfig parameterizes the hardware cost accounting.
+type CostConfig struct {
+	L2Blocks    int // number of L2 cache blocks (paper: 8192 with 128B lines)
+	Prefetchers int // prefetchers with per-block bits (paper: 2)
+	Counters    int // feedback counters (paper: 11)
+	CounterBits int // bits per counter (paper: 16)
+	MSHRs       int // MSHR entries (paper: 32)
+	OffsetBits  int // block-offset bits per MSHR entry (paper: 7)
+	HintBits    int // hint-vector bits per MSHR entry (paper: 16)
+}
+
+// PaperCostConfig returns the exact configuration costed in paper Table 7.
+func PaperCostConfig() CostConfig {
+	return CostConfig{
+		L2Blocks:    8192,
+		Prefetchers: 2,
+		Counters:    11,
+		CounterBits: 16,
+		MSHRs:       32,
+		OffsetBits:  7,
+		HintBits:    16,
+	}
+}
+
+// Cost computes the storage breakdown for cfg.
+func Cost(cfg CostConfig) HardwareCost {
+	return HardwareCost{
+		PrefetchedBits: cfg.L2Blocks * cfg.Prefetchers,
+		CounterBits:    cfg.Counters * cfg.CounterBits,
+		MSHRHintBits:   cfg.MSHRs * (cfg.OffsetBits + cfg.HintBits),
+	}
+}
+
+// TotalBits returns the total storage in bits.
+func (h HardwareCost) TotalBits() int {
+	return h.PrefetchedBits + h.CounterBits + h.MSHRHintBits
+}
+
+// TotalKB returns the total storage in kilobytes (1024-byte KB, as the
+// paper reports 17296 bits = 2.11 KB).
+func (h HardwareCost) TotalKB() float64 {
+	return float64(h.TotalBits()) / 8 / 1024
+}
+
+// AreaOverheadPercent returns the overhead as a fraction of an L2 cache of
+// l2Bytes data storage, in percent (paper: 0.206% of a 1 MB L2).
+func (h HardwareCost) AreaOverheadPercent(l2Bytes int) float64 {
+	return h.TotalKB() / (float64(l2Bytes) / 1024) * 100
+}
+
+func (h HardwareCost) String() string {
+	return fmt.Sprintf("prefetched bits %d + counters %d + MSHR hints %d = %d bits (%.2f KB)",
+		h.PrefetchedBits, h.CounterBits, h.MSHRHintBits, h.TotalBits(), h.TotalKB())
+}

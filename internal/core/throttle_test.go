@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ldsprefetch/internal/prefetch"
+)
+
+func TestDecideTable3(t *testing.T) {
+	th := DefaultThresholds()
+	cases := []struct {
+		name                     string
+		ownCov, ownAcc, rivalCov float64
+		want                     Decision
+	}{
+		{"case1 high coverage", 0.5, 0.1, 0.9, ThrottleUp},
+		{"case1 boundary", 0.2, 0.0, 0.0, ThrottleUp},
+		{"case2 low cov low acc, rival low", 0.1, 0.2, 0.0, ThrottleDown},
+		{"case2 low cov low acc, rival high", 0.1, 0.2, 0.9, ThrottleDown},
+		{"case3 medium acc rival low", 0.1, 0.5, 0.1, ThrottleUp},
+		{"case3 high acc rival low", 0.1, 0.9, 0.1, ThrottleUp},
+		{"case4 medium acc rival high", 0.1, 0.5, 0.5, ThrottleDown},
+		{"case5 high acc rival high", 0.1, 0.9, 0.5, DoNothing},
+	}
+	for _, c := range cases {
+		if got := Decide(th, c.ownCov, c.ownAcc, c.rivalCov); got != c.want {
+			t.Errorf("%s: Decide(%v,%v,%v) = %v, want %v",
+				c.name, c.ownCov, c.ownAcc, c.rivalCov, got, c.want)
+		}
+	}
+}
+
+func TestDecideTotalProperty(t *testing.T) {
+	// Every (coverage, accuracy, rivalCoverage) triple maps to exactly one
+	// of the three decisions — the heuristic table is total.
+	th := DefaultThresholds()
+	f := func(a, b, c uint8) bool {
+		d := Decide(th, float64(a)/255, float64(b)/255, float64(c)/255)
+		return d == DoNothing || d == ThrottleUp || d == ThrottleDown
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type fakeThrottleable struct{ level prefetch.AggLevel }
+
+func (f *fakeThrottleable) Level() prefetch.AggLevel     { return f.level }
+func (f *fakeThrottleable) SetLevel(l prefetch.AggLevel) { f.level = l.Clamp() }
+
+func TestThrottlerRoundCoordinated(t *testing.T) {
+	fb := prefetch.NewFeedback(1)
+	// Stream: low coverage, low accuracy → down (case 2).
+	fb.Sources[prefetch.SrcStream].Issued.Add(100)
+	fb.Sources[prefetch.SrcStream].Used.Add(10)
+	// CDP: high coverage → up (case 1).
+	fb.Sources[prefetch.SrcCDP].Issued.Add(100)
+	fb.Sources[prefetch.SrcCDP].Used.Add(80)
+	fb.DemandMisses.Add(100)
+
+	stream := &fakeThrottleable{level: prefetch.Moderate}
+	cdp := &fakeThrottleable{level: prefetch.Moderate}
+	tr := NewThrottler(DefaultThresholds(), fb)
+	tr.Add(prefetch.SrcStream, stream)
+	tr.Add(prefetch.SrcCDP, cdp)
+	tr.Install()
+
+	fb.Eviction() // close interval → smoothed counters → round
+
+	// Smoothed: stream acc 0.1, cov 5/(5+50)≈0.09; cdp acc 0.8, cov 40/90≈0.44.
+	if stream.level != prefetch.Conservative {
+		t.Fatalf("stream level = %v, want throttled down to conservative", stream.level)
+	}
+	if cdp.level != prefetch.Aggressive {
+		t.Fatalf("cdp level = %v, want throttled up to aggressive", cdp.level)
+	}
+	if tr.Decisions[ThrottleUp] != 1 || tr.Decisions[ThrottleDown] != 1 {
+		t.Fatalf("decisions = %v", tr.Decisions)
+	}
+}
+
+func TestThrottlerCase5DoNothing(t *testing.T) {
+	fb := prefetch.NewFeedback(1)
+	// Deciding: low coverage, high accuracy. Rival: high coverage.
+	fb.Sources[prefetch.SrcCDP].Issued.Add(10)
+	fb.Sources[prefetch.SrcCDP].Used.Add(9) // acc 0.9
+	fb.Sources[prefetch.SrcStream].Issued.Add(200)
+	fb.Sources[prefetch.SrcStream].Used.Add(150)
+	fb.DemandMisses.Add(100)
+
+	cdp := &fakeThrottleable{level: prefetch.Conservative}
+	stream := &fakeThrottleable{level: prefetch.Aggressive}
+	tr := NewThrottler(DefaultThresholds(), fb)
+	tr.Add(prefetch.SrcCDP, cdp)
+	tr.Add(prefetch.SrcStream, stream)
+	tr.Install()
+	fb.Eviction()
+
+	// CDP: cov = 4.5/(4.5+50) ≈ 0.08 low, acc 0.9 high, rival cov
+	// 75/(75+50) = 0.6 high → case 5: unchanged.
+	if cdp.level != prefetch.Conservative {
+		t.Fatalf("cdp level = %v, want unchanged (case 5)", cdp.level)
+	}
+	// Stream: cov 0.6 high → up, already at max → stays aggressive.
+	if stream.level != prefetch.Aggressive {
+		t.Fatalf("stream level = %v, want aggressive", stream.level)
+	}
+}
+
+func TestThrottlerLevelsSaturate(t *testing.T) {
+	fb := prefetch.NewFeedback(1)
+	p := &fakeThrottleable{level: prefetch.VeryConservative}
+	tr := NewThrottler(DefaultThresholds(), fb)
+	tr.Add(prefetch.SrcCDP, p)
+	tr.Install()
+	// Idle prefetcher: accuracy defaults to 1, coverage 0 → with no rival
+	// coverage, case 3 throttles up each interval until saturation.
+	for i := 0; i < 10; i++ {
+		fb.Eviction()
+	}
+	if p.level != prefetch.Aggressive {
+		t.Fatalf("level = %v, want saturated at aggressive", p.level)
+	}
+}
+
+func TestInstallChainsExistingHook(t *testing.T) {
+	fb := prefetch.NewFeedback(1)
+	called := false
+	fb.OnInterval = func() { called = true }
+	tr := NewThrottler(DefaultThresholds(), fb)
+	tr.Install()
+	fb.Eviction()
+	if !called {
+		t.Fatal("pre-existing OnInterval hook must still run")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if ThrottleUp.String() != "up" || ThrottleDown.String() != "down" || DoNothing.String() != "nothing" {
+		t.Fatal("Decision.String mismatch")
+	}
+}

@@ -1,0 +1,195 @@
+// Package cpu implements the timing model of one out-of-order core replaying
+// a dependence-annotated trace against a memory hierarchy.
+//
+// The model is a dependence-graph (interval) simulation of the paper's
+// baseline core (Table 5): instructions enter a 256-instruction window in
+// program order at up to 4 per cycle, execute when their producer completes
+// (out-of-order completion), and retire in order at up to 4 per cycle.
+// Total cycles = retire time of the last instruction. This reproduces the
+// first-order property prefetching studies depend on: independent
+// (streaming) misses overlap up to the window/MSHR limits, while dependent
+// (pointer-chasing) misses serialize.
+//
+// Trace ops may batch several compute instructions (trace.Op.N); all
+// accounting — issue bandwidth, window occupancy, retire bandwidth, retired
+// instruction counts — is done in instruction slots, so batching changes
+// nothing but trace compactness.
+package cpu
+
+import (
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/trace"
+)
+
+// Config parameterizes the core.
+type Config struct {
+	// Window is the instruction window size (paper: 256).
+	Window int
+	// Width is the issue/retire width in instructions per cycle (paper: 4).
+	Width int
+}
+
+// DefaultConfig returns the paper's baseline core.
+func DefaultConfig() Config { return Config{Window: 256, Width: 4} }
+
+// Result summarizes a run.
+type Result struct {
+	// Cycles is the total execution time.
+	Cycles int64
+	// Retired is the number of retired instructions.
+	Retired int64
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+// Core replays traces against a memory system. A Core may be stepped
+// incrementally (multi-core interleaving) or run to completion.
+type Core struct {
+	cfg Config
+	ms  *memsys.MemSys
+	tr  *trace.Trace
+
+	complete []int64 // completion time per op (producers are memory ops)
+
+	// Ring buffers over recent ops; every op carries ≥1 instruction, so
+	// any op within the instruction window is at most Window ops back.
+	retireRing []int64 // retire time per op
+	cumRing    []int64 // cumulative instruction count through each op
+
+	pos        int
+	windowTail int   // oldest op whose slots are still charged to the window
+	cumInstr   int64 // instructions up to and including op pos-1
+	issueSlots int64 // instruction issue slots consumed
+	retireSlot int64 // instruction retire slots consumed
+	lastIssue  int64
+	lastRetire int64
+}
+
+// NewCore prepares a replay of tr on ms.
+func NewCore(cfg Config, ms *memsys.MemSys, tr *trace.Trace) *Core {
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 4
+	}
+	ring := cfg.Window + 2
+	return &Core{
+		cfg:        cfg,
+		ms:         ms,
+		tr:         tr,
+		complete:   make([]int64, len(tr.Ops)),
+		retireRing: make([]int64, ring),
+		cumRing:    make([]int64, ring),
+	}
+}
+
+// Done reports whether the whole trace has been replayed.
+func (c *Core) Done() bool { return c.pos >= len(c.tr.Ops) }
+
+// Now returns a lower bound on the core's current cycle (the last issue
+// time); used to interleave cores fairly in multi-core simulation.
+func (c *Core) Now() int64 { return c.lastIssue }
+
+// Step replays up to n ops and returns the number replayed.
+func (c *Core) Step(n int) int {
+	ops := c.tr.Ops
+	width := int64(c.cfg.Width)
+	window := int64(c.cfg.Window)
+	ring := len(c.retireRing)
+	done := 0
+	for done < n && c.pos < len(ops) {
+		i := c.pos
+		op := &ops[i]
+		instr := op.Instructions()
+		cum := c.cumInstr + instr
+
+		// Issue bandwidth: Width instructions per cycle, in order.
+		t := c.issueSlots / width
+		if t < c.lastIssue {
+			t = c.lastIssue
+		}
+		// Window occupancy: instructions after the window tail must fit.
+		for cum-c.cumRing[c.windowTail%ring] > window && c.windowTail < i {
+			if r := c.retireRing[c.windowTail%ring]; r > t {
+				t = r
+			}
+			c.windowTail++
+		}
+		if adv := t * width; adv > c.issueSlots {
+			c.issueSlots = adv
+		}
+		c.issueSlots += instr
+		c.lastIssue = t
+
+		// Execute when the producer's value is ready.
+		exec := t
+		if op.Dep >= 0 {
+			if d := c.complete[op.Dep]; d > exec {
+				exec = d
+			}
+		}
+
+		var comp int64
+		switch op.Kind {
+		case trace.Compute:
+			lat := instr / width
+			if lat < 1 {
+				lat = 1
+			}
+			comp = exec + lat
+		case trace.Load:
+			comp = c.ms.Access(op.Addr, op.PC, true, op.LDS, exec)
+		case trace.Store:
+			// Apply the store's value in program order so block scans see
+			// time-accurate contents, then access for timing side effects.
+			c.ms.Mem().Write32(op.Addr, op.Val)
+			c.ms.Access(op.Addr, op.PC, false, false, exec)
+			comp = exec + 1 // store buffer: retirement does not wait
+		}
+		c.complete[i] = comp
+
+		// Retire: in order, Width instructions per cycle.
+		r := comp
+		if c.lastRetire > r {
+			r = c.lastRetire
+		}
+		if lb := c.retireSlot / width; lb > r {
+			r = lb
+		}
+		if adv := r * width; adv > c.retireSlot {
+			c.retireSlot = adv
+		}
+		c.retireSlot += instr
+		c.lastRetire = r
+
+		c.retireRing[i%ring] = r
+		c.cumRing[i%ring] = cum
+		c.cumInstr = cum
+
+		c.pos++
+		done++
+	}
+	return done
+}
+
+// Result returns the run summary (valid once Done).
+func (c *Core) Result() Result {
+	return Result{Cycles: c.lastRetire, Retired: c.cumInstr}
+}
+
+// Run replays tr to completion on ms and returns the result.
+func Run(cfg Config, ms *memsys.MemSys, tr *trace.Trace) Result {
+	c := NewCore(cfg, ms, tr)
+	for !c.Done() {
+		c.Step(1 << 20)
+	}
+	ms.FlushAccounting()
+	return c.Result()
+}

@@ -1,0 +1,138 @@
+package cpu
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/dram"
+	"ldsprefetch/internal/mem"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/trace"
+)
+
+func newMS() *memsys.MemSys {
+	return memsys.New(memsys.DefaultConfig(), mem.New(), dram.NewController(dram.DefaultConfig(1)))
+}
+
+func TestComputeOnlyIPCApproachesWidth(t *testing.T) {
+	m := mem.New()
+	b := trace.NewBuilder("c", m, 0)
+	b.Compute(100000)
+	res := Run(DefaultConfig(), newMS(), b.Trace())
+	if ipc := res.IPC(); ipc < 3.5 || ipc > 4.01 {
+		t.Fatalf("compute IPC = %v, want ~4 (issue width)", ipc)
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	// A pointer chain: each load's address comes from the previous load.
+	m := mem.New()
+	const n = 200
+	nodes := make([]uint32, n)
+	for i := range nodes {
+		// Spread nodes across distinct L2 sets (stride 128 KiB) and across
+		// DRAM banks (block-granularity skew), so every access misses and
+		// bank conflicts do not dominate.
+		nodes[i] = mem.HeapBase + uint32(i)*131072 + uint32(i%8)*64
+	}
+	for i := 0; i < n-1; i++ {
+		m.Write32(nodes[i], nodes[i+1])
+	}
+	bd := trace.NewBuilder("chain", m, 0)
+	ptr, dep := bd.Load(1, nodes[0], trace.NoDep, false)
+	for i := 1; i < n; i++ {
+		ptr, dep = bd.Load(1, ptr, dep, true)
+	}
+	chain := Run(DefaultConfig(), newMS(), bd.Trace())
+
+	// The same addresses without dependences (streaming-like MLP).
+	bi := trace.NewBuilder("indep", m, 0)
+	for i := 0; i < n; i++ {
+		bi.Load(1, nodes[i], trace.NoDep, false)
+	}
+	indep := Run(DefaultConfig(), newMS(), bi.Trace())
+
+	if chain.Cycles < indep.Cycles*5 {
+		t.Fatalf("dependent chain %d cycles vs independent %d: expected >=5x serialization",
+			chain.Cycles, indep.Cycles)
+	}
+	// Dependent misses must serialize at roughly the memory latency each.
+	if perMiss := chain.Cycles / n; perMiss < 400 {
+		t.Fatalf("chain per-miss latency %d, want >= 400", perMiss)
+	}
+}
+
+func TestWindowLimitsMLP(t *testing.T) {
+	// More independent misses than the window can hold must take longer per
+	// miss than a handful that all fit.
+	m := mem.New()
+	mk := func(n, window int) Result {
+		b := trace.NewBuilder("w", m, 0)
+		for i := 0; i < n; i++ {
+			b.Load(1, mem.HeapBase+uint32(i)*131072+uint32(i%8)*64, trace.NoDep, false)
+		}
+		return Run(Config{Window: window, Width: 4}, newMS(), b.Trace())
+	}
+	// With a 4-entry window only 4 misses overlap (≈112 cycles each);
+	// with 256 the bus (40 cycles/transfer) is the limit.
+	small := mk(512, 4)
+	large := mk(512, 256)
+	if small.Cycles <= large.Cycles {
+		t.Fatalf("window 4 (%d cycles) must be slower than window 256 (%d cycles)",
+			small.Cycles, large.Cycles)
+	}
+}
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	m := mem.New()
+	b := trace.NewBuilder("s", m, 0)
+	for i := 0; i < 64; i++ {
+		b.Store(1, mem.HeapBase+uint32(i)*131072, uint32(i), trace.NoDep)
+	}
+	res := Run(DefaultConfig(), newMS(), b.Trace())
+	// 64 store misses that would serialize at 450 cycles each would take
+	// >28k cycles; a store buffer keeps retirement fast.
+	if res.Cycles > 5000 {
+		t.Fatalf("stores took %d cycles; they must not block retirement", res.Cycles)
+	}
+}
+
+func TestStoreValuesAppliedInProgramOrder(t *testing.T) {
+	m := mem.New()
+	b := trace.NewBuilder("sv", m, 0)
+	b.Store(1, mem.HeapBase, 42, trace.NoDep)
+	tr := b.Trace()
+	// Builder rewound the store.
+	if m.Read32(mem.HeapBase) != 0 {
+		t.Fatal("trace builder must rewind stores")
+	}
+	ms := memsys.New(memsys.DefaultConfig(), m, dram.NewController(dram.DefaultConfig(1)))
+	Run(DefaultConfig(), ms, tr)
+	if m.Read32(mem.HeapBase) != 42 {
+		t.Fatal("replay must re-apply stores")
+	}
+}
+
+func TestStepIncremental(t *testing.T) {
+	m := mem.New()
+	b := trace.NewBuilder("inc", m, 0)
+	b.Compute(1000)
+	tr := b.Trace()
+	c := NewCore(DefaultConfig(), newMS(), tr)
+	total := 0
+	for !c.Done() {
+		total += c.Step(7)
+	}
+	if total != len(tr.Ops) {
+		t.Fatalf("stepped %d ops, want %d", total, len(tr.Ops))
+	}
+	// Batched compute ops must still retire 1000 instructions.
+	if c.Result().Retired != 1000 {
+		t.Fatalf("retired = %d instructions, want 1000", c.Result().Retired)
+	}
+}
+
+func TestIPCZeroCycles(t *testing.T) {
+	if (Result{}).IPC() != 0 {
+		t.Fatal("IPC of empty result must be 0")
+	}
+}

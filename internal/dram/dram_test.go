@@ -1,0 +1,104 @@
+package dram
+
+import "testing"
+
+func TestMinLatency(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if cfg.MinLatency() != 450 {
+		t.Fatalf("MinLatency = %d, want the paper's 450", cfg.MinLatency())
+	}
+	c := NewController(cfg)
+	done := c.Access(0x1000_0000, 1000, true)
+	if done != 1000+450 {
+		t.Fatalf("uncontended access done at %d, want 1450", done)
+	}
+}
+
+func TestBankConflictSerializes(t *testing.T) {
+	cfg := DefaultConfig(1)
+	c := NewController(cfg)
+	a := c.Access(0x1000_0000, 0, true)
+	// Same bank: banks interleave on block address, stride of Banks blocks
+	// returns to the same bank.
+	b := c.Access(0x1000_0000+uint32(cfg.Banks)<<cfg.BlockShift, 0, true)
+	if b <= a {
+		t.Fatalf("same-bank accesses not serialized: %d then %d", a, b)
+	}
+	if b-a < cfg.BankCycles {
+		t.Fatalf("bank conflict delay %d < bank occupancy %d", b-a, cfg.BankCycles)
+	}
+}
+
+func TestDifferentBanksOverlap(t *testing.T) {
+	cfg := DefaultConfig(1)
+	c := NewController(cfg)
+	a := c.Access(0x1000_0000, 0, true)
+	b := c.Access(0x1000_0040, 0, true) // next block, different bank
+	// Only the bus serializes them: 40 cycles apart, not 320.
+	if b-a != cfg.BusCycles {
+		t.Fatalf("different-bank gap = %d, want bus-only %d", b-a, cfg.BusCycles)
+	}
+}
+
+func TestRequestBufferBackpressure(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.RequestBuffer = 2
+	c := NewController(cfg)
+	c.Access(0x1000_0000, 0, true)
+	c.Access(0x1000_0040, 0, true)
+	// Third at t=0 must wait for an earlier completion.
+	done := c.Access(0x1000_0080, 0, true)
+	if c.Stalls != 1 {
+		t.Fatalf("Stalls = %d, want 1", c.Stalls)
+	}
+	if done <= 450 {
+		t.Fatalf("backpressured access done at %d, want > 450", done)
+	}
+}
+
+func TestRequestBufferDrains(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.RequestBuffer = 2
+	c := NewController(cfg)
+	c.Access(0x1000_0000, 0, true)
+	c.Access(0x1000_0040, 0, true)
+	// Far in the future, both completed: no stall.
+	c.Access(0x1000_0080, 100000, true)
+	if c.Stalls != 0 {
+		t.Fatalf("Stalls = %d, want 0 after drain", c.Stalls)
+	}
+}
+
+func TestTransfersCounted(t *testing.T) {
+	c := NewController(DefaultConfig(1))
+	c.Access(0x1000_0000, 0, true)
+	c.Access(0x1000_0040, 0, false)
+	c.Writeback(0x1000_0080, 0)
+	if c.Transfers != 3 {
+		t.Fatalf("Transfers = %d, want 3", c.Transfers)
+	}
+	if c.DemandTransfers != 1 {
+		t.Fatalf("DemandTransfers = %d, want 1", c.DemandTransfers)
+	}
+}
+
+func TestBusSharedWithWritebacks(t *testing.T) {
+	cfg := DefaultConfig(1)
+	c := NewController(cfg)
+	// Enough writebacks that accumulated bus occupancy outlasts the bank
+	// access of a subsequent read (bus busy until 50 + 10*40 = 450 > 370).
+	for i := uint32(0); i < 10; i++ {
+		c.Writeback(0x1000_0000+i*64, 0)
+	}
+	done := c.Access(0x2000_0040, 0, true)
+	if done <= 450 {
+		t.Fatalf("access after writeback burst done at %d, want > 450", done)
+	}
+}
+
+func TestZeroBanksDefaults(t *testing.T) {
+	c := NewController(Config{CtrlCycles: 1, BankCycles: 1, BusCycles: 1, FillCycles: 1, BlockShift: 6})
+	if got := c.Access(0x1000_0000, 0, true); got != 4 {
+		t.Fatalf("access = %d, want 4", got)
+	}
+}

@@ -1,0 +1,108 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Tests of the demand-priority scheduling model.
+
+func TestDemandShieldedFromPrefetchFlood(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.RequestBuffer = 0 // isolate the bus/bank effects
+	c := NewController(cfg)
+	// Flood the low-priority class.
+	for i := uint32(0); i < 64; i++ {
+		c.Access(0x1000_0000+i*64, 0, false)
+	}
+	// A demand arriving now pays at most bounded non-preemption penalties,
+	// not the whole prefetch queue.
+	done := c.Access(0x2000_0000, 0, true)
+	if done > 450+cfg.BankCycles/2+cfg.BusCycles/2+1 {
+		t.Fatalf("demand behind prefetch flood done at %d; priority broken", done)
+	}
+}
+
+func TestPrefetchWaitsBehindDemand(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.RequestBuffer = 0
+	c := NewController(cfg)
+	var lastDemand int64
+	for i := uint32(0); i < 16; i++ {
+		lastDemand = c.Access(0x1000_0000+i*64, 0, true)
+	}
+	pf := c.Access(0x2000_0000, 0, false)
+	if pf < lastDemand-cfg.FillCycles {
+		t.Fatalf("prefetch (%d) overtook queued demand work (%d)", pf, lastDemand)
+	}
+}
+
+func TestPrefetchBacklogSignal(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.RequestBuffer = 0
+	c := NewController(cfg)
+	if c.PrefetchBacklog(0) != 0 {
+		t.Fatal("fresh controller has backlog")
+	}
+	for i := uint32(0); i < 32; i++ {
+		c.Access(0x1000_0000+i*64, 0, false)
+	}
+	if c.PrefetchBacklog(0) <= 16*cfg.BusCycles {
+		t.Fatalf("backlog = %d after 32 prefetches; signal too weak", c.PrefetchBacklog(0))
+	}
+	// Far in the future the backlog has drained.
+	if c.PrefetchBacklog(1<<40) != 0 {
+		t.Fatal("backlog does not drain with time")
+	}
+}
+
+func TestCongested(t *testing.T) {
+	cfg := DefaultConfig(1)
+	c := NewController(cfg)
+	if c.Congested(0, 4) {
+		t.Fatal("fresh controller congested")
+	}
+	for i := uint32(0); i < 4; i++ {
+		c.Access(0x1000_0000+i*64, 0, true)
+	}
+	if !c.Congested(0, 4) {
+		t.Fatal("4 outstanding at limit 4 must be congested")
+	}
+	if c.Congested(1<<40, 4) {
+		t.Fatal("congestion must clear after completions")
+	}
+	if c.Congested(0, 0) {
+		t.Fatal("limit 0 disables the check")
+	}
+}
+
+func TestMonotonicCompletionUnderRandomLoad(t *testing.T) {
+	// Property: a request stream with non-decreasing arrival times yields
+	// non-decreasing per-class completion ordering pressure — i.e. the
+	// model never produces a completion before its own arrival + minimum.
+	cfg := DefaultConfig(1)
+	c := NewController(cfg)
+	rng := rand.New(rand.NewSource(7))
+	now := int64(0)
+	for i := 0; i < 2000; i++ {
+		now += int64(rng.Intn(100))
+		demand := rng.Intn(2) == 0
+		done := c.Access(uint32(0x1000_0000+rng.Intn(1<<20)&^63), now, demand)
+		if done < now+cfg.MinLatency() {
+			t.Fatalf("completion %d before arrival %d + min latency", done, now)
+		}
+	}
+}
+
+func TestWritebacksDoNotBlockDemandView(t *testing.T) {
+	cfg := DefaultConfig(1)
+	c := NewController(cfg)
+	for i := uint32(0); i < 32; i++ {
+		c.Writeback(0x1000_0000+i*64, 0)
+	}
+	done := c.Access(0x2000_0000, 0, true)
+	// Bounded penalty only (half a bank + half a bus occupancy).
+	if done > 450+cfg.BankCycles/2+cfg.BusCycles/2+1 {
+		t.Fatalf("demand behind writeback burst done at %d", done)
+	}
+}

@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/sim"
+)
+
+// ablationBenches is a representative subset used for design-choice sweeps
+// (one CDP-hostile, one CDP-friendly, one stream-friendly, one huge-LDS,
+// one mixed benchmark).
+var ablationBenches = []string{"mst", "perimeter", "gcc", "health", "perlbench"}
+
+// AblateDepth sweeps CDP's fixed maximum recursion depth (no throttling):
+// the aggressiveness axis of paper Table 2.
+func AblateDepth(c *Context) Report {
+	levels := []prefetch.AggLevel{prefetch.VeryConservative, prefetch.Conservative,
+		prefetch.Moderate, prefetch.Aggressive}
+	grids := c.Grids(ablationBenches)
+	res := make([][]sim.Result, len(ablationBenches))
+	var wg sync.WaitGroup
+	for i, b := range ablationBenches {
+		res[i] = make([]sim.Result, len(levels))
+		for j, lv := range levels {
+			wg.Add(1)
+			go func(i, j int, b string, lv prefetch.AggLevel, hints *core.HintTable) {
+				defer wg.Done()
+				l := lv
+				res[i][j] = c.run(b, sim.Setup{Name: fmt.Sprintf("ecdp-depth%d", prefetch.CDPDepth(l)),
+					Stream: true, CDP: true, Hints: hints, InitialLevel: &l})
+			}(i, j, b, lv, grids[i].Hints)
+		}
+	}
+	wg.Wait()
+	r := Report{
+		ID:     "ablate-depth",
+		Title:  "ECDP recursion depth sweep (fixed aggressiveness, no throttling)",
+		Header: []string{"bench", "depth1", "depth2", "depth3", "depth4", "bw:d1", "bw:d4"},
+	}
+	for i, g := range grids {
+		r.Rows = append(r.Rows, []string{g.Bench,
+			f3(res[i][0].IPC / g.Base.IPC), f3(res[i][1].IPC / g.Base.IPC),
+			f3(res[i][2].IPC / g.Base.IPC), f3(res[i][3].IPC / g.Base.IPC),
+			f2(safeDiv(res[i][0].BPKI, g.Base.BPKI)), f2(safeDiv(res[i][3].BPKI, g.Base.BPKI))})
+	}
+	return r
+}
+
+// AblateThresholds sweeps the coordinated-throttling thresholds around the
+// paper's Table 4 values, demonstrating the tunability claim of Section 4.2.
+func AblateThresholds(c *Context) Report {
+	variants := []struct {
+		name string
+		th   core.Thresholds
+	}{
+		{"paper(0.2/0.4/0.7)", core.DefaultThresholds()},
+		{"tight(0.35/0.55/0.8)", core.Thresholds{TCoverage: 0.35, ALow: 0.55, AHigh: 0.8}},
+		{"loose(0.1/0.25/0.6)", core.Thresholds{TCoverage: 0.1, ALow: 0.25, AHigh: 0.6}},
+	}
+	grids := c.Grids(ablationBenches)
+	res := make([][]sim.Result, len(ablationBenches))
+	var wg sync.WaitGroup
+	for i, b := range ablationBenches {
+		res[i] = make([]sim.Result, len(variants))
+		for j, v := range variants {
+			wg.Add(1)
+			go func(i, j int, b string, th core.Thresholds, hints *core.HintTable) {
+				defer wg.Done()
+				res[i][j] = c.run(b, sim.Setup{Name: "ecdp+thr", Stream: true, CDP: true,
+					Hints: hints, Throttle: true, Thresholds: &th})
+			}(i, j, b, v.th, grids[i].Hints)
+		}
+	}
+	wg.Wait()
+	r := Report{
+		ID:     "ablate-thresholds",
+		Title:  "Coordinated-throttling threshold sensitivity",
+		Header: []string{"bench", variants[0].name, variants[1].name, variants[2].name},
+	}
+	for i, g := range grids {
+		r.Rows = append(r.Rows, []string{g.Bench,
+			f3(res[i][0].IPC / g.Base.IPC), f3(res[i][1].IPC / g.Base.IPC),
+			f3(res[i][2].IPC / g.Base.IPC)})
+	}
+	r.Notes = append(r.Notes,
+		"paper §4.2: thresholds were determined empirically but not fine-tuned")
+	return r
+}
+
+// AblateInterval sweeps the feedback interval length (paper: 8192 L2
+// evictions).
+func AblateInterval(c *Context) Report {
+	intervals := []int{2048, 8192, 32768}
+	grids := c.Grids(ablationBenches)
+	res := make([][]sim.Result, len(ablationBenches))
+	var wg sync.WaitGroup
+	for i, b := range ablationBenches {
+		res[i] = make([]sim.Result, len(intervals))
+		for j, iv := range intervals {
+			wg.Add(1)
+			go func(i, j, iv int, b string, hints *core.HintTable) {
+				defer wg.Done()
+				res[i][j] = c.run(b, sim.Setup{Name: "ecdp+thr", Stream: true, CDP: true,
+					Hints: hints, Throttle: true, IntervalLen: iv})
+			}(i, j, iv, b, grids[i].Hints)
+		}
+	}
+	wg.Wait()
+	r := Report{
+		ID:     "ablate-interval",
+		Title:  "Feedback interval length sweep (L2 evictions per interval)",
+		Header: []string{"bench", "2048", "8192(paper)", "32768"},
+	}
+	for i, g := range grids {
+		r.Rows = append(r.Rows, []string{g.Bench,
+			f3(res[i][0].IPC / g.Base.IPC), f3(res[i][1].IPC / g.Base.IPC),
+			f3(res[i][2].IPC / g.Base.IPC)})
+	}
+	return r
+}
+
+// AblateHintThreshold sweeps the beneficial-PG classification boundary
+// (paper: 50% usefulness).
+func AblateHintThreshold(c *Context) Report {
+	cuts := []float64{0.25, 0.5, 0.75}
+	grids := c.Grids(ablationBenches)
+	res := make([][]sim.Result, len(ablationBenches))
+	var wg sync.WaitGroup
+	for i, b := range ablationBenches {
+		res[i] = make([]sim.Result, len(cuts))
+		for j, cut := range cuts {
+			wg.Add(1)
+			go func(i, j int, b string, cut float64, g *Grid) {
+				defer wg.Done()
+				hints := g.Prof.Hints(cut)
+				res[i][j] = c.run(b, sim.Setup{Name: "ecdp+thr", Stream: true, CDP: true,
+					Hints: hints, Throttle: true})
+			}(i, j, b, cut, grids[i])
+		}
+	}
+	wg.Wait()
+	r := Report{
+		ID:     "ablate-hint-threshold",
+		Title:  "Beneficial-PG usefulness threshold sweep",
+		Header: []string{"bench", "0.25", "0.50(paper)", "0.75"},
+	}
+	for i, g := range grids {
+		r.Rows = append(r.Rows, []string{g.Bench,
+			f3(res[i][0].IPC / g.Base.IPC), f3(res[i][1].IPC / g.Base.IPC),
+			f3(res[i][2].IPC / g.Base.IPC)})
+	}
+	r.Notes = append(r.Notes,
+		"paper footnote 4: PGs below 50% usefulness usually cause performance loss")
+	return r
+}
+
+// AblateTriple exercises the paper's stated future work (Section 4.2): the
+// throttling heuristics are prefetcher-symmetric and prefetcher-agnostic, so
+// more than two prefetchers compose — each decides from its own metrics and
+// the maximum rival coverage. We run stream + ECDP + GHB as a
+// three-prefetcher hybrid, with and without coordinated throttling.
+func AblateTriple(c *Context) Report {
+	grids := c.Grids(ablationBenches)
+	type pair struct{ plain, thr sim.Result }
+	res := make([]pair, len(ablationBenches))
+	var wg sync.WaitGroup
+	for i, b := range ablationBenches {
+		wg.Add(1)
+		go func(i int, b string, hints *core.HintTable) {
+			defer wg.Done()
+			res[i].plain = c.run(b, sim.Setup{Name: "stream+ecdp+ghb",
+				Stream: true, CDP: true, Hints: hints, GHB: true})
+			res[i].thr = c.run(b, sim.Setup{Name: "stream+ecdp+ghb+thr",
+				Stream: true, CDP: true, Hints: hints, GHB: true, Throttle: true})
+		}(i, b, grids[i].Hints)
+	}
+	wg.Wait()
+	r := Report{
+		ID:     "ablate-triple",
+		Title:  "Three-prefetcher hybrid (stream+ECDP+GHB): coordinated throttling generalizes",
+		Header: []string{"bench", "triple", "triple+thr", "bw:triple", "bw:triple+thr"},
+	}
+	var vp, vt []float64
+	for i, g := range grids {
+		row := []float64{res[i].plain.IPC / g.Base.IPC, res[i].thr.IPC / g.Base.IPC,
+			safeDiv(res[i].plain.BPKI, g.Base.BPKI), safeDiv(res[i].thr.BPKI, g.Base.BPKI)}
+		vp = append(vp, row[0])
+		vt = append(vt, row[1])
+		r.Rows = append(r.Rows, []string{g.Bench, f3(row[0]), f3(row[1]), f2(row[2]), f2(row[3])})
+	}
+	r.Rows = append(r.Rows, []string{"gmean", f3(gmean(vp)), f3(gmean(vt)), "", ""})
+	r.Notes = append(r.Notes,
+		"paper §4.2: \"the use of throttling for more than two prefetchers is part of ongoing work\"")
+	return r
+}
+
+// Ablations runs all design-choice sweeps.
+func Ablations(c *Context) []Report {
+	return []Report{AblateDepth(c), AblateThresholds(c), AblateInterval(c),
+		AblateHintThreshold(c), AblateTriple(c), AblateBlockSize(c)}
+}

@@ -1,0 +1,62 @@
+package exp
+
+import "fmt"
+
+// Registry maps experiment ids to their generators. Multi-report entries
+// (ablate) are expanded by Run.
+var Registry = []struct {
+	ID   string
+	Desc string
+	Run  func(*Context) []Report
+}{
+	{"fig1", "stream prefetcher gains + ideal LDS potential", one(Fig1)},
+	{"fig2", "original CDP effect (Fig. 2 + Table 1)", one(Fig2Table1)},
+	{"fig4", "beneficial vs harmful pointer groups", one(Fig4)},
+	{"fig7", "headline: ECDP + coordinated throttling (Fig. 7 + Table 6)", one(Fig7Table6)},
+	{"fig8", "prefetcher accuracy across configs", one(Fig8)},
+	{"fig9", "prefetcher coverage across configs", one(Fig9)},
+	{"fig10", "PG usefulness distribution, CDP vs ECDP", one(Fig10)},
+	{"table7", "hardware cost", one(Table7)},
+	{"fig11", "vs DBP / Markov / GHB", one(Fig11)},
+	{"fig12", "vs hardware prefetch filtering", one(Fig12)},
+	{"fig13", "coordinated throttling vs FDP", one(Fig13)},
+	{"fig14", "dual-core system", one(Fig14)},
+	{"fig15", "four-core system", one(Fig15)},
+	{"sec23", "CDP with ideal pollution elimination", one(Sec23)},
+	{"sec3impl", "profiling via simulation vs informing loads", one(Sec3Impl)},
+	{"sec616", "profiling input sensitivity", one(Sec616)},
+	{"sec67", "non-pointer-intensive benchmarks", one(Sec67)},
+	{"sec72", "coarse-grained per-load control", one(Sec72)},
+	{"sec74", "PAB best-prefetcher selection", one(Sec74)},
+	{"ablate", "design-choice sweeps (depth/thresholds/interval/hint cut)", Ablations},
+}
+
+func one(f func(*Context) Report) func(*Context) []Report {
+	return func(c *Context) []Report { return []Report{f(c)} }
+}
+
+// Run executes the experiment with the given id ("all" runs everything).
+func Run(c *Context, id string) ([]Report, error) {
+	if id == "all" {
+		var out []Report
+		for _, e := range Registry {
+			out = append(out, e.Run(c)...)
+		}
+		return out, nil
+	}
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Run(c), nil
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q (try \"all\" or one of the ids in DESIGN.md)", id)
+}
+
+// IDs lists the available experiment ids.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/profiling"
+	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/workload"
+)
+
+// Grid holds the shared single-core results for one benchmark: the
+// configurations Figures 1, 2, 7, 8, 9 and Tables 1, 6 are all derived from.
+type Grid struct {
+	Bench string
+	// Prof is the train-input pointer-group profile; Hints its hint table.
+	Prof  *profiling.Profile
+	Hints *core.HintTable
+
+	NoPF  sim.Result // no prefetching
+	Base  sim.Result // stream only (the paper's baseline)
+	CDP   sim.Result // stream + original CDP
+	CDPT  sim.Result // stream + original CDP + coordinated throttling
+	ECDP  sim.Result // stream + ECDP
+	ECDPT sim.Result // stream + ECDP + coordinated throttling (the proposal)
+	Ideal sim.Result // stream + ideal LDS oracle (Figure 1 bottom)
+}
+
+// Context caches profiles and grid results across experiments so that a
+// full reproduction run simulates each configuration once.
+type Context struct {
+	// Params is the measurement input (Ref by default).
+	Params workload.Params
+	// TrainParams is the profiling input (Train by default).
+	TrainParams workload.Params
+	// Parallel bounds concurrent simulations.
+	Parallel int
+
+	mu    sync.Mutex
+	grids map[string]*Grid
+	sema  chan struct{}
+	once  sync.Once
+}
+
+// NewContext returns a context using the paper's ref/train inputs.
+func NewContext() *Context {
+	return &Context{
+		Params:      workload.Ref(),
+		TrainParams: workload.Train(),
+		Parallel:    runtime.NumCPU(),
+	}
+}
+
+func (c *Context) sem() chan struct{} {
+	c.once.Do(func() {
+		n := c.Parallel
+		if n <= 0 {
+			n = runtime.NumCPU()
+		}
+		c.sema = make(chan struct{}, n)
+	})
+	return c.sema
+}
+
+// run executes one simulation under the concurrency bound.
+func (c *Context) run(bench string, s sim.Setup) sim.Result {
+	c.sem() <- struct{}{}
+	defer func() { <-c.sema }()
+	r, err := sim.RunSingle(bench, c.Params, s)
+	if err != nil {
+		panic(err) // unknown benchmark: programming error in experiment defs
+	}
+	return r
+}
+
+// runMulti executes one multi-core simulation under the concurrency bound.
+func (c *Context) runMulti(benches []string, s sim.Setup) sim.MultiResult {
+	c.sem() <- struct{}{}
+	defer func() { <-c.sema }()
+	r, err := sim.RunMulti(benches, c.Params, s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// profile computes (and caches via Grid) the train-input PG profile.
+func (c *Context) profile(bench string) *profiling.Profile {
+	g, err := workload.Get(bench)
+	if err != nil {
+		panic(err)
+	}
+	c.sem() <- struct{}{}
+	defer func() { <-c.sema }()
+	return profiling.Collect(g.Build(c.TrainParams), memsys.DefaultConfig(), cpu.DefaultConfig())
+}
+
+// Grid returns the cached shared results for bench, computing them on first
+// use. The seven configurations run concurrently.
+func (c *Context) Grid(bench string) *Grid {
+	c.mu.Lock()
+	if c.grids == nil {
+		c.grids = make(map[string]*Grid)
+	}
+	if g, ok := c.grids[bench]; ok {
+		c.mu.Unlock()
+		return g
+	}
+	c.mu.Unlock()
+
+	g := &Grid{Bench: bench}
+	g.Prof = c.profile(bench)
+	g.Hints = g.Prof.Hints(0)
+
+	var wg sync.WaitGroup
+	launch := func(dst *sim.Result, s sim.Setup) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			*dst = c.run(bench, s)
+		}()
+	}
+	launch(&g.NoPF, sim.Setup{Name: "nopf"})
+	launch(&g.Base, sim.Setup{Name: "stream", Stream: true})
+	launch(&g.CDP, sim.Setup{Name: "stream+cdp", Stream: true, CDP: true, ProfilePGs: true})
+	launch(&g.CDPT, sim.Setup{Name: "stream+cdp+thr", Stream: true, CDP: true, Throttle: true})
+	launch(&g.ECDP, sim.Setup{Name: "stream+ecdp", Stream: true, CDP: true, Hints: g.Hints, ProfilePGs: true})
+	launch(&g.ECDPT, sim.Setup{Name: "stream+ecdp+thr", Stream: true, CDP: true, Hints: g.Hints, Throttle: true})
+	launch(&g.Ideal, sim.Setup{Name: "ideal-lds", Stream: true, IdealLDS: true})
+	wg.Wait()
+
+	c.mu.Lock()
+	c.grids[bench] = g
+	c.mu.Unlock()
+	return g
+}
+
+// Grids returns grids for all listed benchmarks, computed concurrently.
+func (c *Context) Grids(benches []string) []*Grid {
+	out := make([]*Grid, len(benches))
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			out[i] = c.Grid(b)
+		}(i, b)
+	}
+	wg.Wait()
+	return out
+}

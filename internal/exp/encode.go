@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSON renders the report as indented JSON for machine consumption.
+func (r Report) JSON() (string, error) {
+	b, err := json.MarshalIndent(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{r.ID, r.Title, r.Header, r.Rows, r.Notes}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// CSV renders the report as RFC-4180-ish CSV (header row first; notes as
+// trailing comment lines).
+func (r Report) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "# %s\n", n)
+	}
+	return sb.String()
+}
+
+// Render formats the report in the requested format: "text" (default),
+// "json", or "csv".
+func (r Report) Render(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return r.String(), nil
+	case "json":
+		return r.JSON()
+	case "csv":
+		return r.CSV(), nil
+	default:
+		return "", fmt.Errorf("exp: unknown output format %q (text|json|csv)", format)
+	}
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() Report {
+	return Report{
+		ID: "t", Title: "sample",
+		Header: []string{"bench", "value"},
+		Rows:   [][]string{{"a", "1.0"}, {"with,comma", `with"quote`}},
+		Notes:  []string{"a note"},
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	s, err := sampleReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID     string     `json:"id"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(s), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "t" || len(decoded.Rows) != 2 || decoded.Rows[1][1] != `with"quote` {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	s := sampleReport().CSV()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if lines[0] != "bench,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != `"with,comma","with""quote"` {
+		t.Fatalf("escaped row = %q", lines[2])
+	}
+	if lines[3] != "# a note" {
+		t.Fatalf("note = %q", lines[3])
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	r := sampleReport()
+	for _, f := range []string{"", "text", "json", "csv"} {
+		if _, err := r.Render(f); err != nil {
+			t.Fatalf("format %q: %v", f, err)
+		}
+	}
+	if _, err := r.Render("xml"); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/profiling"
+	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/workload"
+)
+
+// profileTrace runs the profiling pass over a fresh trace built with p.
+func profileTrace(g workload.Generator, p workload.Params) *profiling.Profile {
+	return profiling.Collect(g.Build(p), memsys.DefaultConfig(), cpu.DefaultConfig())
+}
+
+// TwoCoreWorkloads are the 12 dual-core multiprogrammed combinations
+// (paper Section 6.6: randomly selected mixes of pointer-intensive and
+// non-pointer-intensive benchmarks, including the xalancbmk+astar case the
+// paper calls out).
+var TwoCoreWorkloads = [][]string{
+	{"xalancbmk", "astar"},
+	{"mcf", "libquantum"},
+	{"omnetpp", "h264ref"},
+	{"health", "gemsfdtd"},
+	{"mst", "lbm"},
+	{"ammp", "perlbench"},
+	{"bisort", "gcc"},
+	{"pfast", "omnetpp"},
+	{"perimeter", "libquantum"},
+	{"voronoi", "h264ref"},
+	{"astar", "mcf"},
+	{"gemsfdtd", "h264ref"}, // both non-intensive: expected ~no effect
+}
+
+// FourCoreWorkloads are the 4 quad-core case studies (paper Section 6.6:
+// one all-intensive, two mixed, one mostly non-intensive).
+var FourCoreWorkloads = [][]string{
+	{"mcf", "xalancbmk", "omnetpp", "health"},
+	{"astar", "ammp", "libquantum", "h264ref"},
+	{"mst", "pfast", "gemsfdtd", "lbm"},
+	{"perlbench", "libquantum", "gemsfdtd", "h264ref"},
+}
+
+// multiOutcome holds the per-mix configurations compared in Figures 14/15.
+type multiOutcome struct {
+	base, ours, dbp, markov, ghb sim.MultiResult
+}
+
+func (c *Context) hintsFor(benches []string) *core.HintTable {
+	// Merge each benchmark's hint table; PCs are disjoint by construction
+	// (every workload uses its own PC range).
+	merged := core.NewHintTable()
+	for _, b := range benches {
+		h := c.Grid(b).Hints
+		for _, pc := range h.PCs() {
+			v, _ := h.Lookup(pc)
+			merged.Set(pc, v)
+		}
+	}
+	return merged
+}
+
+func (c *Context) runMix(benches []string) multiOutcome {
+	hints := c.hintsFor(benches)
+	var out multiOutcome
+	var wg sync.WaitGroup
+	launch := func(dst *sim.MultiResult, s sim.Setup) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			*dst = c.runMulti(benches, s)
+		}()
+	}
+	launch(&out.base, sim.Setup{Name: "stream", Stream: true})
+	launch(&out.ours, sim.Setup{Name: "ecdp+thr", Stream: true, CDP: true, Hints: hints, Throttle: true})
+	launch(&out.dbp, sim.Setup{Name: "stream+dbp", Stream: true, DBP: true})
+	launch(&out.markov, sim.Setup{Name: "stream+markov", Stream: true, Markov: true})
+	launch(&out.ghb, sim.Setup{Name: "ghb", GHB: true})
+	wg.Wait()
+	return out
+}
+
+func multiReport(c *Context, id, title string, mixes [][]string, paperNotes []string) Report {
+	outcomes := make([]multiOutcome, len(mixes))
+	var wg sync.WaitGroup
+	for i, mix := range mixes {
+		wg.Add(1)
+		go func(i int, mix []string) {
+			defer wg.Done()
+			outcomes[i] = c.runMix(mix)
+		}(i, mix)
+	}
+	wg.Wait()
+
+	r := Report{
+		ID: id, Title: title,
+		Header: []string{"workload", "ws:ours", "ws:dbp", "ws:markov", "ws:ghb",
+			"hmean:ours", "bus:ours", "bus:dbp", "bus:markov", "bus:ghb"},
+	}
+	var wsOurs, wsDbp, wsMk, wsGhb, hmOurs, busOurs, busDbp, busMk, busGhb []float64
+	for i, mix := range mixes {
+		o := outcomes[i]
+		row := []float64{
+			o.ours.WeightedSpeedup / o.base.WeightedSpeedup,
+			o.dbp.WeightedSpeedup / o.base.WeightedSpeedup,
+			o.markov.WeightedSpeedup / o.base.WeightedSpeedup,
+			o.ghb.WeightedSpeedup / o.base.WeightedSpeedup,
+			o.ours.HmeanSpeedup / o.base.HmeanSpeedup,
+			safeDiv(o.ours.BusPKI, o.base.BusPKI),
+			safeDiv(o.dbp.BusPKI, o.base.BusPKI),
+			safeDiv(o.markov.BusPKI, o.base.BusPKI),
+			safeDiv(o.ghb.BusPKI, o.base.BusPKI),
+		}
+		wsOurs = append(wsOurs, row[0])
+		wsDbp = append(wsDbp, row[1])
+		wsMk = append(wsMk, row[2])
+		wsGhb = append(wsGhb, row[3])
+		hmOurs = append(hmOurs, row[4])
+		busOurs = append(busOurs, row[5])
+		busDbp = append(busDbp, row[6])
+		busMk = append(busMk, row[7])
+		busGhb = append(busGhb, row[8])
+		cells := []string{strings.Join(mix, "+")}
+		for _, v := range row {
+			cells = append(cells, f3(v))
+		}
+		r.Rows = append(r.Rows, cells)
+	}
+	r.Rows = append(r.Rows, []string{"gmean",
+		f3(gmean(wsOurs)), f3(gmean(wsDbp)), f3(gmean(wsMk)), f3(gmean(wsGhb)),
+		f3(gmean(hmOurs)), f2(gmean(busOurs)), f2(gmean(busDbp)), f2(gmean(busMk)), f2(gmean(busGhb))})
+	r.Notes = paperNotes
+	return r
+}
+
+// Fig14 reproduces Figure 14: dual-core weighted speedup and bus traffic for
+// the proposal vs DBP/Markov/GHB, over 12 two-benchmark mixes.
+func Fig14(c *Context) Report {
+	return multiReport(c, "fig14",
+		"Dual-core system: weighted speedup and bus traffic (vs stream baseline)",
+		TwoCoreWorkloads, []string{
+			"paper: ours +10.4% weighted speedup, +9.9% hmean, -14.9% bus traffic",
+			"paper: xalancbmk+astar +20% / -28.3% bus; GemsFDTD+h264ref ~+1%",
+			"paper: Markov +4.1% ws but +19.5% bus; GHB +6.2% ws, -5% bus; DBP ineffective",
+		})
+}
+
+// Fig15 reproduces Figure 15: the 4-core case studies.
+func Fig15(c *Context) Report {
+	return multiReport(c, "fig15",
+		"Four-core system: weighted speedup and bus traffic (vs stream baseline)",
+		FourCoreWorkloads, []string{
+			"paper: ours +9.5% weighted / +9.7% hmean speedup, -15.3% bus traffic",
+		})
+}
+
+// mixLabel names a workload mix in reports and tests.
+func mixLabel(mix []string) string { return strings.Join(mix, "+") }

@@ -1,0 +1,100 @@
+// Package exp defines the paper's experiments: one generator per table and
+// figure of the evaluation (Section 6), each producing a Report that prints
+// the same rows/series the paper plots. The experiment index lives in
+// DESIGN.md; EXPERIMENTS.md records paper-vs-measured outcomes.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Report is one reproduced table or figure.
+type Report struct {
+	// ID is the experiment identifier (e.g. "fig7", "table6").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, one row per benchmark/workload plus summary
+	// rows.
+	Rows [][]string
+	// Notes carries caveats and observations.
+	Notes []string
+}
+
+// String renders the report as an aligned text table.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				sb.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// gmean returns the geometric mean of xs (ignoring non-positive entries).
+func gmean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// amean returns the arithmetic mean of xs.
+func amean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func pct(x float64) string { return fmt.Sprintf("%+.1f%%", (x-1)*100) }

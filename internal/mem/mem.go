@@ -1,0 +1,173 @@
+// Package mem provides the simulated 32-bit virtual memory used by the
+// workload programs and the memory-hierarchy simulator.
+//
+// The memory holds real byte contents, not just an address trace: workload
+// programs store 32-bit pointer values into simulated memory, and the
+// content-directed prefetcher later scans fetched cache blocks for values
+// whose high-order "compare bits" match the block's address. Without real
+// contents CDP cannot be simulated faithfully.
+//
+// The address space is divided into regions chosen so that heap pointers are
+// distinguishable by their high-order bits (mirroring how a real 32-bit
+// process lays out its address space):
+//
+//	GlobalBase  0x08000000  globals / static data
+//	HeapBase    0x10000000  heap (linked data structures live here)
+//	StackBase   0x7ff00000  stack (grows down)
+//
+// Small integers (node keys, counters) have zero high bytes and therefore
+// never alias with heap pointers under an 8-compare-bit matcher.
+package mem
+
+import "fmt"
+
+// Region base addresses of the simulated address space.
+const (
+	GlobalBase uint32 = 0x0800_0000
+	HeapBase   uint32 = 0x1000_0000
+	StackBase  uint32 = 0x7ff0_0000
+
+	pageShift = 16 // 64 KiB pages
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, paged 32-bit byte-addressable memory. The zero value
+// is not ready to use; call New.
+type Memory struct {
+	pages map[uint32][]byte
+}
+
+// New returns an empty memory. Reads of unwritten locations return zero.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32][]byte)}
+}
+
+func (m *Memory) page(addr uint32, create bool) []byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = make([]byte, pageSize)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr (zero if the page was never written).
+func (m *Memory) Read8(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint32, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read32 returns the little-endian 32-bit word at addr. The word may span a
+// page boundary.
+func (m *Memory) Read32(addr uint32) uint32 {
+	if addr&pageMask <= pageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		o := addr & pageMask
+		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+	}
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		v |= uint32(m.Read8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write32 stores a little-endian 32-bit word at addr.
+func (m *Memory) Write32(addr, v uint32) {
+	if addr&pageMask <= pageSize-4 {
+		p := m.page(addr, true)
+		o := addr & pageMask
+		p[o] = byte(v)
+		p[o+1] = byte(v >> 8)
+		p[o+2] = byte(v >> 16)
+		p[o+3] = byte(v >> 24)
+		return
+	}
+	for i := uint32(0); i < 4; i++ {
+		m.Write8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// ReadBlock copies blockSize bytes starting at the block-aligned address into
+// dst. len(dst) determines the block size and addr is aligned down to it.
+func (m *Memory) ReadBlock(addr uint32, dst []byte) {
+	n := uint32(len(dst))
+	addr &^= n - 1
+	// Fast path: block within one page (always true for power-of-two block
+	// sizes <= pageSize and aligned addresses).
+	p := m.page(addr, false)
+	if p == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	o := addr & pageMask
+	copy(dst, p[o:o+n])
+}
+
+// Footprint returns the number of bytes of allocated (touched) pages.
+func (m *Memory) Footprint() int {
+	return len(m.pages) * pageSize
+}
+
+// Allocator is a bump allocator over the heap region of a Memory. It mimics
+// a simple malloc: successive allocations are laid out consecutively (the
+// property the paper's pointer-group analysis relies on: "if different nodes
+// are allocated consecutively in memory, each pointer field of any other node
+// in the same cache block is also at a constant offset"). An optional
+// alignment and inter-allocation gap model allocator metadata.
+type Allocator struct {
+	mem   *Memory
+	next  uint32
+	limit uint32
+	align uint32
+	gap   uint32
+}
+
+// NewAllocator returns a heap allocator over m starting at HeapBase with the
+// given capacity in bytes. align must be a power of two (0 means 4).
+func NewAllocator(m *Memory, capacity uint32, align uint32) *Allocator {
+	if align == 0 {
+		align = 4
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	return &Allocator{mem: m, next: HeapBase, limit: HeapBase + capacity, align: align}
+}
+
+// SetGap sets the number of pad bytes inserted after every allocation
+// (simulating allocator headers). The pad is rounded into alignment.
+func (a *Allocator) SetGap(gap uint32) { a.gap = gap }
+
+// Alloc reserves size bytes and returns the address of the allocation.
+// It panics if the heap region is exhausted (a programming error in a
+// workload generator, not a runtime condition).
+func (a *Allocator) Alloc(size uint32) uint32 {
+	addr := (a.next + a.align - 1) &^ (a.align - 1)
+	if addr+size > a.limit {
+		panic(fmt.Sprintf("mem: heap exhausted (next=%#x size=%d limit=%#x)", a.next, size, a.limit))
+	}
+	a.next = addr + size + a.gap
+	return addr
+}
+
+// Used reports how many bytes of heap have been consumed.
+func (a *Allocator) Used() uint32 { return a.next - HeapBase }
+
+// Mem returns the underlying memory.
+func (a *Allocator) Mem() *Memory { return a.mem }

@@ -1,0 +1,138 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	m := New()
+	if got := m.Read32(HeapBase); got != 0 {
+		t.Fatalf("Read32 of unwritten = %#x, want 0", got)
+	}
+	if got := m.Read8(StackBase); got != 0 {
+		t.Fatalf("Read8 of unwritten = %#x, want 0", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := New()
+	m.Write32(HeapBase+4, 0xdeadbeef)
+	if got := m.Read32(HeapBase + 4); got != 0xdeadbeef {
+		t.Fatalf("Read32 = %#x, want 0xdeadbeef", got)
+	}
+	// Little-endian byte order.
+	if got := m.Read8(HeapBase + 4); got != 0xef {
+		t.Fatalf("low byte = %#x, want 0xef", got)
+	}
+	if got := m.Read8(HeapBase + 7); got != 0xde {
+		t.Fatalf("high byte = %#x, want 0xde", got)
+	}
+}
+
+func TestWrite32PageStraddle(t *testing.T) {
+	m := New()
+	addr := HeapBase + pageSize - 2 // straddles two pages
+	m.Write32(addr, 0x11223344)
+	if got := m.Read32(addr); got != 0x11223344 {
+		t.Fatalf("straddling Read32 = %#x, want 0x11223344", got)
+	}
+}
+
+func TestWrite32ReadBack(t *testing.T) {
+	m := New()
+	f := func(off uint16, v uint32) bool {
+		addr := HeapBase + uint32(off)*4
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBlock(t *testing.T) {
+	m := New()
+	base := HeapBase + 128
+	for i := uint32(0); i < 16; i++ {
+		m.Write32(base+4*i, 0x1000_0000+i)
+	}
+	var blk [64]byte
+	m.ReadBlock(base+20, blk[:]) // unaligned addr must align down
+	for i := uint32(0); i < 16; i++ {
+		got := uint32(blk[4*i]) | uint32(blk[4*i+1])<<8 | uint32(blk[4*i+2])<<16 | uint32(blk[4*i+3])<<24
+		if got != 0x1000_0000+i {
+			t.Fatalf("word %d = %#x, want %#x", i, got, 0x1000_0000+i)
+		}
+	}
+}
+
+func TestReadBlockUnwritten(t *testing.T) {
+	m := New()
+	blk := make([]byte, 64)
+	blk[0] = 0xff
+	m.ReadBlock(StackBase+1024, blk)
+	for i, b := range blk {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestAllocatorConsecutive(t *testing.T) {
+	m := New()
+	a := NewAllocator(m, 1<<20, 4)
+	p1 := a.Alloc(16)
+	p2 := a.Alloc(16)
+	if p1 != HeapBase {
+		t.Fatalf("first alloc = %#x, want %#x", p1, HeapBase)
+	}
+	if p2 != p1+16 {
+		t.Fatalf("allocations not consecutive: %#x then %#x", p1, p2)
+	}
+}
+
+func TestAllocatorAlignmentAndGap(t *testing.T) {
+	m := New()
+	a := NewAllocator(m, 1<<20, 8)
+	a.SetGap(4)
+	p1 := a.Alloc(12)
+	p2 := a.Alloc(12)
+	if p1%8 != 0 || p2%8 != 0 {
+		t.Fatalf("allocations not 8-aligned: %#x %#x", p1, p2)
+	}
+	if p2 <= p1+12 {
+		t.Fatalf("gap not applied: %#x then %#x", p1, p2)
+	}
+}
+
+func TestAllocatorExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on heap exhaustion")
+		}
+	}()
+	a := NewAllocator(New(), 32, 4)
+	a.Alloc(64)
+}
+
+func TestBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-power-of-two alignment")
+		}
+	}()
+	NewAllocator(New(), 1024, 3)
+}
+
+func TestFootprint(t *testing.T) {
+	m := New()
+	if m.Footprint() != 0 {
+		t.Fatalf("empty footprint = %d, want 0", m.Footprint())
+	}
+	m.Write8(HeapBase, 1)
+	m.Write8(HeapBase+pageSize, 1)
+	if m.Footprint() != 2*pageSize {
+		t.Fatalf("footprint = %d, want %d", m.Footprint(), 2*pageSize)
+	}
+}

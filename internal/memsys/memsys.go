@@ -1,0 +1,665 @@
+// Package memsys wires the simulated memory hierarchy together: an L1 data
+// cache, an L2 (last-level) cache with MSHRs, a shared DRAM controller, the
+// prefetcher attachment points, and the run-time feedback counters of paper
+// Section 4.1.
+//
+// # Timing model
+//
+// The hierarchy is timestamp-based. A demand access arrives with the cycle
+// it executes; the access walks L1 → L2 → DRAM and returns the cycle its
+// data is available. Fills are applied to the tag stores eagerly — a line is
+// inserted when its request is created, carrying a ReadyAt timestamp — so a
+// later access that finds a line with ReadyAt in the future has merged with
+// an in-flight fill (for prefetched lines, that is a *late* prefetch). This
+// eager-fill approximation slightly advances evictions in time but preserves
+// the phenomena the paper studies: late prefetches, cache pollution by
+// useless prefetches, MSHR/request-buffer/bank/bus contention.
+//
+// # Resource limits
+//
+// L2 MSHRs (32) bound outstanding demand misses: a demand miss finding all
+// MSHRs busy waits for the earliest outstanding fill. The per-core prefetch
+// request queue (128) bounds outstanding prefetches: excess prefetches are
+// dropped, never stalled. The DRAM request buffer (32 × cores, in
+// internal/dram) backpressures both.
+package memsys
+
+import (
+	"container/heap"
+
+	"ldsprefetch/internal/cache"
+	"ldsprefetch/internal/dram"
+	"ldsprefetch/internal/mem"
+	"ldsprefetch/internal/prefetch"
+)
+
+// Config parameterizes one core's cache hierarchy (paper Table 5 defaults).
+type Config struct {
+	BlockSize int
+
+	L1Size int
+	L1Ways int
+	L1Lat  int64
+
+	L2Size int
+	L2Ways int
+	L2Lat  int64
+
+	// MSHRs bounds outstanding L2 demand misses.
+	MSHRs int
+	// PrefetchQueue bounds outstanding prefetch requests per core.
+	PrefetchQueue int
+	// PrefetchCongestionLimit drops prefetches when this many requests are
+	// outstanding at the DRAM controller — prefetches are the lowest-
+	// priority customer of the memory system, and real prefetch queues
+	// drop on congestion rather than stall. Keeping the limit below the
+	// request-buffer size reserves headroom for demand requests,
+	// approximating demand-first scheduling (0 selects half the request
+	// buffer).
+	PrefetchCongestionLimit int
+	// IntervalLen is the feedback interval in L2 evictions (paper: 8192).
+	IntervalLen int
+
+	// IdealLDS converts L2 misses of LDS-tagged loads into hits (the
+	// oracle of Figure 1, bottom).
+	IdealLDS bool
+	// NoPollution places prefetch fills in an unbounded side buffer instead
+	// of the L2, ideally eliminating prefetch-induced pollution (the oracle
+	// experiment of Section 2.3).
+	NoPollution bool
+}
+
+// DefaultConfig returns the paper's baseline core memory configuration.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:     64,
+		L1Size:        32 << 10,
+		L1Ways:        4,
+		L1Lat:         2,
+		L2Size:        1 << 20,
+		L2Ways:        8,
+		L2Lat:         15,
+		MSHRs:         32,
+		PrefetchQueue: 128,
+		IntervalLen:   8192,
+	}
+}
+
+// AccessEvent describes one demand access, delivered to every attached
+// prefetcher for training.
+type AccessEvent struct {
+	// Now is the cycle the access reached the L1.
+	Now int64
+	// PC is the static instruction address.
+	PC uint32
+	// Addr is the data address.
+	Addr uint32
+	// Value is the 32-bit value at Addr (loads only; producers for the
+	// dependence-based prefetcher baseline).
+	Value uint32
+	// IsLoad distinguishes loads from stores.
+	IsLoad bool
+	// LDS marks pointer-chasing loads.
+	LDS bool
+	// L1Hit, L2Hit report where the access hit.
+	L1Hit, L2Hit bool
+	// InFlight reports a merge with an outstanding fill (secondary miss).
+	InFlight bool
+	// HitPrefetchSrc identifies the prefetcher whose block this access is
+	// the first demand consumer of (SrcDemand otherwise). This is the
+	// information an informing load operation exposes to software
+	// (Horowitz et al., referenced by the paper's second profiling
+	// implementation): whether the load hit, and whether the hit was due
+	// to a prefetch.
+	HitPrefetchSrc prefetch.Source
+	// CompleteAt is the cycle the access's data is available. Prefetchers
+	// that consume loaded VALUES (the dependence-based prefetcher) must
+	// act no earlier than this — the value physically does not exist
+	// before the fill returns.
+	CompleteAt int64
+}
+
+// Miss reports whether the access missed the whole on-chip hierarchy.
+func (e AccessEvent) Miss() bool { return !e.L1Hit && !e.L2Hit && !e.InFlight }
+
+// FillEvent describes a block arriving in the L2, delivered to prefetchers
+// that scan block contents (CDP).
+type FillEvent struct {
+	// Now is the cycle the fill completes.
+	Now int64
+	// BlockAddr is the block-aligned address.
+	BlockAddr uint32
+	// Data is the block's contents at scan time (valid during the callback
+	// only; do not retain).
+	Data []byte
+	// Cause identifies who requested the block.
+	Cause prefetch.Source
+	// Depth is the CDP recursion depth of this block (0 for demand).
+	Depth uint8
+	// PG is the root pointer group (CDP fills).
+	PG prefetch.PGKey
+	// TriggerPC is the PC of the demand access that missed (demand fills).
+	TriggerPC uint32
+	// TriggerOff is the byte offset within the block the demand access
+	// touched, or -1 for prefetch fills.
+	TriggerOff int
+	// TriggerIsLoad reports whether the triggering demand was a load.
+	TriggerIsLoad bool
+}
+
+// Prefetcher is the interface all prefetchers implement to observe the
+// memory system. Prefetchers issue requests through the Issuer they were
+// constructed with (the MemSys itself).
+type Prefetcher interface {
+	// Name identifies the prefetcher for reports.
+	Name() string
+	// Source returns the request source this prefetcher issues as.
+	Source() prefetch.Source
+	// OnAccess observes every demand access.
+	OnAccess(ev AccessEvent)
+	// OnFill observes every block filled into the L2.
+	OnFill(ev FillEvent)
+}
+
+// Stats aggregates per-core memory system statistics.
+type Stats struct {
+	Accesses         int64
+	L1Hits           int64
+	L2DemandHits     int64
+	L2DemandMisses   int64
+	InFlightMerges   int64
+	IdealLDSHits     int64
+	PrefDropCacheHit int64
+	PrefDropQueue    int64
+	PrefDropFilter   int64
+	Writebacks       int64
+	UselessEvicted   [prefetch.NumSources]int64
+}
+
+type sideLine struct {
+	readyAt int64
+	pg      prefetch.PGKey
+	src     prefetch.Source
+}
+
+// MemSys is one core's memory hierarchy attached to a (possibly shared)
+// DRAM controller.
+type MemSys struct {
+	cfg  Config
+	mm   *mem.Memory
+	l1   *cache.Cache
+	l2   *cache.Cache
+	ctrl *dram.Controller
+	fb   *prefetch.Feedback
+	pfs  []Prefetcher
+
+	mshr    int64Heap // demand-miss fill completions
+	pfQueue int64Heap // prefetch fill completions
+
+	// Fair-share prefetch rate limiting: each core may inject prefetches
+	// at no more than its share of the bus rate (1 block per
+	// BusCycles × cores), with a bounded burst. Without this, one core's
+	// recursive CDP cascades monopolize the shared low-priority bandwidth
+	// and starve other cores' (and its own stream prefetcher's) requests.
+	pfTokens    float64
+	pfTokenTime int64
+	// lastDemand tracks the core's demand clock; prefetch requests
+	// timestamped far beyond it are recursion chains that have raced ahead
+	// of the program and are dropped (a real prefetch queue would have
+	// been overwritten long before such a request could issue).
+	lastDemand int64
+
+	// evictedBy tracks blocks recently displaced by prefetch fills, for
+	// pollution attribution (FDP baseline). Bounded ring-of-map.
+	evictedBy map[uint32]prefetch.Source
+	evictRing []uint32
+	evictPos  int
+	sideBuf   map[uint32]sideLine // NoPollution oracle
+
+	blockBuf []byte
+	stats    Stats
+
+	// FilterPrefetch, if set, gates every prefetch request before issue
+	// (hardware prefetch filter / PAB baselines). Return false to drop.
+	FilterPrefetch func(r prefetch.Request) bool
+	// OnPGUseful / OnPGUseless observe pointer-group outcomes: a
+	// CDP-prefetched block consumed by demand, or evicted (or left at end
+	// of run) unused. The profiling pass hooks these.
+	OnPGUseful  func(pg prefetch.PGKey)
+	OnPGUseless func(pg prefetch.PGKey)
+	// OnPrefetchOutcome observes per-block prefetch outcomes for the
+	// hardware-filter baseline: used=true when a demand consumed the block,
+	// used=false when it was evicted unused.
+	OnPrefetchOutcome func(blockAddr uint32, src prefetch.Source, used bool)
+}
+
+type int64Heap []int64
+
+func (h int64Heap) Len() int            { return len(h) }
+func (h int64Heap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h int64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *int64Heap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *int64Heap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// New builds a core memory system over memory image mm and controller ctrl.
+func New(cfg Config, mm *mem.Memory, ctrl *dram.Controller) *MemSys {
+	ms := &MemSys{
+		cfg:       cfg,
+		mm:        mm,
+		ctrl:      ctrl,
+		l1:        cache.New("L1D", cfg.L1Size, cfg.L1Ways, cfg.BlockSize),
+		l2:        cache.New("L2", cfg.L2Size, cfg.L2Ways, cfg.BlockSize),
+		fb:        prefetch.NewFeedback(cfg.IntervalLen),
+		evictedBy: make(map[uint32]prefetch.Source),
+		evictRing: make([]uint32, 4096),
+		blockBuf:  make([]byte, cfg.BlockSize),
+	}
+	ms.pfTokens = 32 // fair-share burst allowance (see Issue)
+	if cfg.NoPollution {
+		ms.sideBuf = make(map[uint32]sideLine)
+	}
+	return ms
+}
+
+// Attach registers a prefetcher to receive access and fill events.
+func (ms *MemSys) Attach(p Prefetcher) { ms.pfs = append(ms.pfs, p) }
+
+// Feedback returns the run-time feedback counters.
+func (ms *MemSys) Feedback() *prefetch.Feedback { return ms.fb }
+
+// Mem returns the memory image.
+func (ms *MemSys) Mem() *mem.Memory { return ms.mm }
+
+// Controller returns the DRAM controller.
+func (ms *MemSys) Controller() *dram.Controller { return ms.ctrl }
+
+// Stats returns a copy of the accumulated statistics.
+func (ms *MemSys) Stats() Stats { return ms.stats }
+
+// Config returns the configuration.
+func (ms *MemSys) Config() Config { return ms.cfg }
+
+func (ms *MemSys) notifyAccess(ev AccessEvent) {
+	for _, p := range ms.pfs {
+		p.OnAccess(ev)
+	}
+}
+
+func (ms *MemSys) notifyFill(ev FillEvent) {
+	for _, p := range ms.pfs {
+		p.OnFill(ev)
+	}
+}
+
+// recordEvictedBy remembers that blk was displaced by a fill from src.
+func (ms *MemSys) recordEvictedBy(blk uint32, src prefetch.Source) {
+	old := ms.evictRing[ms.evictPos]
+	if old != 0 {
+		delete(ms.evictedBy, old)
+	}
+	ms.evictRing[ms.evictPos] = blk
+	ms.evictPos = (ms.evictPos + 1) % len(ms.evictRing)
+	ms.evictedBy[blk] = src
+}
+
+// handleVictim performs eviction bookkeeping for a displaced L2 line:
+// writeback of dirty data, useless-prefetch accounting, pollution tracking,
+// and the feedback interval tick.
+func (ms *MemSys) handleVictim(victim cache.Line, insertedBy prefetch.Source, now int64) {
+	vaddr := victim.Tag << ms.l2.BlockShift()
+	if victim.Dirty {
+		ms.ctrl.Writeback(vaddr, now)
+		ms.stats.Writebacks++
+	}
+	if victim.PrefSrc.IsPrefetch() && !victim.Used {
+		ms.stats.UselessEvicted[victim.PrefSrc]++
+		if victim.PrefSrc == prefetch.SrcCDP && victim.PG != 0 && ms.OnPGUseless != nil {
+			ms.OnPGUseless(victim.PG)
+		}
+		if ms.OnPrefetchOutcome != nil {
+			ms.OnPrefetchOutcome(vaddr, victim.PrefSrc, false)
+		}
+	}
+	if insertedBy.IsPrefetch() {
+		ms.recordEvictedBy(vaddr, insertedBy)
+	}
+	ms.fb.Eviction()
+}
+
+// creditPrefetch performs first-demand-use accounting on a prefetched line.
+func (ms *MemSys) creditPrefetch(l *cache.Line, now int64) {
+	if !l.PrefSrc.IsPrefetch() || l.Used {
+		return
+	}
+	st := &ms.fb.Sources[l.PrefSrc]
+	st.Used.Inc()
+	if l.ReadyAt > now {
+		st.Late.Inc()
+	}
+	if l.PrefSrc == prefetch.SrcCDP && l.PG != 0 && ms.OnPGUseful != nil {
+		ms.OnPGUseful(l.PG)
+	}
+	if ms.OnPrefetchOutcome != nil {
+		ms.OnPrefetchOutcome(l.Tag<<ms.l2.BlockShift(), l.PrefSrc, true)
+	}
+	l.Used = true
+}
+
+// Access performs one demand access at cycle now and returns the cycle the
+// data is available to the core. Stores use the same path for timing but the
+// CPU does not wait on the returned time for them.
+func (ms *MemSys) Access(addr, pc uint32, isLoad, lds bool, now int64) int64 {
+	ms.stats.Accesses++
+	if now > ms.lastDemand {
+		ms.lastDemand = now
+	}
+	ev := AccessEvent{Now: now, PC: pc, Addr: addr, IsLoad: isLoad, LDS: lds}
+	if isLoad {
+		ev.Value = ms.mm.Read32(addr)
+	}
+	blk := ms.l2.BlockAddr(addr)
+
+	// L1.
+	if l := ms.l1.Lookup(addr, true); l != nil {
+		ms.stats.L1Hits++
+		ev.L1Hit = true
+		complete := max64(now, l.ReadyAt) + ms.cfg.L1Lat
+		ev.CompleteAt = complete
+		ms.notifyAccess(ev)
+		if !isLoad {
+			l.Dirty = true
+			if l2l := ms.l2.Lookup(addr, false); l2l != nil {
+				l2l.Dirty = true
+			}
+		}
+		return complete
+	}
+	t2 := now + ms.cfg.L1Lat
+
+	// L2.
+	if l := ms.l2.Lookup(addr, true); l != nil {
+		if l.PrefSrc.IsPrefetch() && !l.Used {
+			ev.HitPrefetchSrc = l.PrefSrc
+		}
+		inflight := l.ReadyAt > t2
+		if inflight {
+			ms.stats.InFlightMerges++
+			ev.InFlight = true
+			// Demand merge promotes an in-flight prefetch to demand
+			// priority: it completes no later than its issue time plus the
+			// uncontended latency (and never later than a fresh demand
+			// miss would) — the earlier the prefetch was issued, the more
+			// latency the merge hides.
+			promoted := l.IssuedAt + ms.ctrl.Config().MinLatency()
+			if fresh := t2 + ms.cfg.L2Lat + ms.ctrl.Config().MinLatency(); promoted < t2 {
+				promoted = t2
+			} else if promoted > fresh {
+				promoted = fresh
+			}
+			if l.ReadyAt > promoted {
+				l.ReadyAt = promoted
+			}
+		} else {
+			ms.stats.L2DemandHits++
+			ev.L2Hit = true
+		}
+		ms.creditPrefetch(l, t2)
+		complete := max64(t2, l.ReadyAt) + ms.cfg.L2Lat
+		ms.fillL1(addr, complete, !isLoad)
+		if !isLoad {
+			l.Dirty = true
+		}
+		ev.CompleteAt = complete
+		ms.notifyAccess(ev)
+		return complete
+	}
+
+	// NoPollution oracle side buffer.
+	if ms.sideBuf != nil {
+		if sl, ok := ms.sideBuf[blk]; ok {
+			delete(ms.sideBuf, blk)
+			st := &ms.fb.Sources[sl.src]
+			st.Used.Inc()
+			if sl.readyAt > t2 {
+				st.Late.Inc()
+			}
+			if sl.src == prefetch.SrcCDP && sl.pg != 0 && ms.OnPGUseful != nil {
+				ms.OnPGUseful(sl.pg)
+			}
+			// Promote into L2 as a used prefetched block.
+			nl, victim, had := ms.l2.Insert(blk)
+			if had {
+				ms.handleVictim(victim, prefetch.SrcDemand, t2)
+			}
+			nl.PrefSrc = sl.src
+			nl.Used = true
+			nl.ReadyAt = sl.readyAt
+			complete := max64(t2, sl.readyAt) + ms.cfg.L2Lat
+			ms.fillL1(addr, complete, !isLoad)
+			if !isLoad {
+				nl.Dirty = true
+			}
+			ev.L2Hit = true
+			ev.CompleteAt = complete
+			ms.notifyAccess(ev)
+			return complete
+		}
+	}
+
+	// True L2 demand miss.
+	ms.stats.L2DemandMisses++
+	ms.fb.DemandMisses.Inc()
+	if src, ok := ms.evictedBy[blk]; ok {
+		ms.fb.Sources[src].Pollution.Inc()
+		delete(ms.evictedBy, blk)
+	}
+
+	if ms.cfg.IdealLDS && lds && isLoad {
+		// Oracle: the LDS miss is converted into an L2 hit.
+		ms.stats.IdealLDSHits++
+		complete := t2 + ms.cfg.L2Lat
+		ms.fillL1(addr, complete, !isLoad)
+		nl, victim, had := ms.l2.Insert(blk)
+		if had {
+			ms.handleVictim(victim, prefetch.SrcDemand, t2)
+		}
+		nl.Used = true
+		nl.ReadyAt = complete
+		if !isLoad {
+			nl.Dirty = true
+		}
+		ev.CompleteAt = complete
+		ms.notifyAccess(ev)
+		return complete
+	}
+
+	// MSHR capacity: a demand miss with all MSHRs busy waits for the
+	// earliest outstanding fill.
+	reqT := t2 + ms.cfg.L2Lat
+	for len(ms.mshr) > 0 && ms.mshr[0] <= reqT {
+		heap.Pop(&ms.mshr)
+	}
+	if ms.cfg.MSHRs > 0 && len(ms.mshr) >= ms.cfg.MSHRs {
+		earliest := heap.Pop(&ms.mshr).(int64)
+		reqT = max64(reqT, earliest)
+	}
+
+	ready := ms.ctrl.Access(blk, reqT, true)
+	heap.Push(&ms.mshr, ready)
+
+	nl, victim, had := ms.l2.Insert(blk)
+	if had {
+		ms.handleVictim(victim, prefetch.SrcDemand, reqT)
+	}
+	nl.Used = true
+	nl.ReadyAt = ready
+	nl.IssuedAt = reqT
+	if !isLoad {
+		nl.Dirty = true
+	}
+	ms.fillL1(addr, ready, !isLoad)
+	ev.CompleteAt = ready
+	ms.notifyAccess(ev)
+
+	// Content scan of the demand-fetched block.
+	ms.mm.ReadBlock(blk, ms.blockBuf)
+	ms.notifyFill(FillEvent{
+		Now:           ready,
+		BlockAddr:     blk,
+		Data:          ms.blockBuf,
+		Cause:         prefetch.SrcDemand,
+		TriggerPC:     pc,
+		TriggerOff:    int(addr - blk),
+		TriggerIsLoad: isLoad,
+	})
+	return ready
+}
+
+func (ms *MemSys) fillL1(addr uint32, readyAt int64, dirty bool) {
+	l, _, _ := ms.l1.Insert(addr)
+	l.ReadyAt = readyAt
+	l.Used = true
+	l.Dirty = dirty
+}
+
+// Issue accepts a prefetch request (prefetch.Issuer). Prefetch fills go to
+// the L2 only, per the paper. Requests to blocks already present or in
+// flight are dropped; the prefetch queue bound drops, never stalls.
+func (ms *MemSys) Issue(r prefetch.Request) {
+	blk := ms.l2.BlockAddr(r.Addr)
+	if l := ms.l2.Lookup(blk, false); l != nil {
+		ms.stats.PrefDropCacheHit++
+		return
+	}
+	if ms.sideBuf != nil {
+		if _, ok := ms.sideBuf[blk]; ok {
+			ms.stats.PrefDropCacheHit++
+			return
+		}
+	}
+	if ms.FilterPrefetch != nil && !ms.FilterPrefetch(r) {
+		ms.stats.PrefDropFilter++
+		return
+	}
+	for len(ms.pfQueue) > 0 && ms.pfQueue[0] <= r.When {
+		heap.Pop(&ms.pfQueue)
+	}
+	// Prefetches are dropped, never queued, under congestion. Two signals:
+	// this core's own in-flight prefetch occupancy (the congestion limit,
+	// default 16 — the deep cascade bound), and the hard prefetch-queue
+	// capacity (128). Both are per-core, so one core's recursive CDP
+	// cascades cannot starve another core's prefetchers.
+	limit := ms.cfg.PrefetchCongestionLimit
+	if limit == 0 {
+		limit = 32
+	}
+	if len(ms.pfQueue) >= limit ||
+		(ms.cfg.PrefetchQueue > 0 && len(ms.pfQueue) >= ms.cfg.PrefetchQueue) {
+		ms.stats.PrefDropQueue++
+		return
+	}
+	// The shared request buffer still backpressures everyone.
+	if ms.ctrl.Congested(r.When, ms.ctrl.Config().RequestBuffer) {
+		ms.stats.PrefDropQueue++
+		return
+	}
+	// Recursion chains that outrun the program die: a request timestamped
+	// beyond the demand clock plus a depth-4 chain's worth of latency
+	// corresponds to queue state that no longer exists.
+	if horizon := 4 * ms.ctrl.Config().MinLatency(); r.When > ms.lastDemand+horizon {
+		ms.stats.PrefDropQueue++
+		return
+	}
+	// Fair-share token bucket (burst = 32 requests).
+	cores := ms.ctrl.Config().RequestBuffer / 32
+	if cores < 1 {
+		cores = 1
+	}
+	refill := float64(ms.ctrl.Config().BusCycles) * float64(cores)
+	if dt := r.When - ms.pfTokenTime; dt > 0 {
+		ms.pfTokens += float64(dt) / refill
+		if ms.pfTokens > 32 {
+			ms.pfTokens = 32
+		}
+		ms.pfTokenTime = r.When
+	}
+	if ms.pfTokens < 1 {
+		ms.stats.PrefDropQueue++
+		return
+	}
+	ms.pfTokens--
+
+	ms.fb.Sources[r.Src].Issued.Inc()
+	ready := ms.ctrl.Access(blk, r.When, false)
+	heap.Push(&ms.pfQueue, ready)
+
+	if ms.sideBuf != nil {
+		ms.sideBuf[blk] = sideLine{readyAt: ready, pg: r.PG, src: r.Src}
+	} else {
+		nl, victim, had := ms.l2.Insert(blk)
+		if had {
+			ms.handleVictim(victim, r.Src, r.When)
+		}
+		nl.PrefSrc = r.Src
+		nl.ReadyAt = ready
+		nl.IssuedAt = r.When
+		nl.Depth = r.Depth
+		nl.PG = r.PG
+	}
+
+	if r.Src == prefetch.SrcCDP {
+		// Recursive content scan of the prefetched block.
+		ms.mm.ReadBlock(blk, ms.blockBuf)
+		ms.notifyFill(FillEvent{
+			Now:        ready,
+			BlockAddr:  blk,
+			Data:       ms.blockBuf,
+			Cause:      prefetch.SrcCDP,
+			Depth:      r.Depth,
+			PG:         r.PG,
+			TriggerOff: -1,
+		})
+	}
+}
+
+// FlushAccounting finalizes end-of-run statistics: prefetched blocks still
+// resident but never used count as useless (the paper's accuracy metric
+// divides used by issued, so these simply never increment used; the PG
+// profiler however needs an explicit useless verdict).
+func (ms *MemSys) FlushAccounting() {
+	ms.l2.ForEach(func(l *cache.Line) {
+		if l.PrefSrc.IsPrefetch() && !l.Used {
+			ms.stats.UselessEvicted[l.PrefSrc]++
+			if l.PrefSrc == prefetch.SrcCDP && l.PG != 0 && ms.OnPGUseless != nil {
+				ms.OnPGUseless(l.PG)
+			}
+			if ms.OnPrefetchOutcome != nil {
+				ms.OnPrefetchOutcome(l.Tag<<ms.l2.BlockShift(), l.PrefSrc, false)
+			}
+		}
+	})
+	if ms.sideBuf != nil {
+		for blk, sl := range ms.sideBuf {
+			_ = blk
+			if sl.src == prefetch.SrcCDP && sl.pg != 0 && ms.OnPGUseless != nil {
+				ms.OnPGUseless(sl.pg)
+			}
+		}
+	}
+}
+
+// BlockSize returns the cache block size in bytes.
+func (ms *MemSys) BlockSize() int { return ms.cfg.BlockSize }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

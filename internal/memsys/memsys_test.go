@@ -1,0 +1,326 @@
+package memsys
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/dram"
+	"ldsprefetch/internal/mem"
+	"ldsprefetch/internal/prefetch"
+)
+
+func newMS(t *testing.T, mutate func(*Config)) *MemSys {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(cfg, mem.New(), dram.NewController(dram.DefaultConfig(1)))
+}
+
+func TestMissHitLatencies(t *testing.T) {
+	ms := newMS(t, nil)
+	const addr = 0x1000_0000
+	// Cold miss: L1 + L2 + DRAM.
+	c1 := ms.Access(addr, 100, true, false, 0)
+	if c1 < 450 {
+		t.Fatalf("cold miss completes at %d, want >= 450", c1)
+	}
+	// L1 hit afterwards.
+	c2 := ms.Access(addr, 100, true, false, c1)
+	if c2 != c1+2 {
+		t.Fatalf("L1 hit completes at %d, want %d", c2, c1+2)
+	}
+	// Different address in the same block: also L1 hit.
+	c3 := ms.Access(addr+8, 100, true, false, c2)
+	if c3 != c2+2 {
+		t.Fatalf("same-block hit completes at %d, want %d", c3, c2+2)
+	}
+	st := ms.Stats()
+	if st.L2DemandMisses != 1 || st.L1Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss, 2 L1 hits", st)
+	}
+}
+
+func TestL2HitAfterL1Conflict(t *testing.T) {
+	ms := newMS(t, nil)
+	// Fill a block, then evict it from L1 by filling the same L1 set.
+	base := uint32(0x1000_0000)
+	ms.Access(base, 1, true, false, 0)
+	// L1 is 32KB/4-way/64B = 128 sets; stride 128*64 = 8192 hits same set.
+	for i := uint32(1); i <= 4; i++ {
+		ms.Access(base+i*8192, 1, true, false, int64(i)*5000)
+	}
+	c := ms.Access(base, 1, true, false, 100000)
+	if c != 100000+2+15 {
+		t.Fatalf("L2 hit completes at %d, want %d", c, 100000+2+15)
+	}
+}
+
+func TestPrefetchCredit(t *testing.T) {
+	ms := newMS(t, nil)
+	const blk = 0x1000_0040
+	ms.Issue(prefetch.Request{When: 0, Addr: blk, Src: prefetch.SrcStream})
+	if ms.Feedback().Sources[prefetch.SrcStream].Issued.Raw() != 1 {
+		t.Fatal("prefetch not counted as issued")
+	}
+	// Demand access long after the fill: used, not late.
+	ms.Access(blk, 7, true, false, 10000)
+	fb := ms.Feedback()
+	if fb.Sources[prefetch.SrcStream].Used.Raw() != 1 {
+		t.Fatal("prefetch not credited as used")
+	}
+	if fb.Sources[prefetch.SrcStream].Late.Raw() != 0 {
+		t.Fatal("timely prefetch must not be late")
+	}
+	// Second access must not double count.
+	ms.Access(blk, 7, true, false, 20000)
+	if fb.Sources[prefetch.SrcStream].Used.Raw() != 1 {
+		t.Fatal("used double-counted")
+	}
+	if fb.DemandMisses.Raw() != 0 {
+		t.Fatal("prefetch hit must not count as a demand miss")
+	}
+}
+
+func TestLatePrefetch(t *testing.T) {
+	ms := newMS(t, nil)
+	const blk = 0x1000_0040
+	ms.Issue(prefetch.Request{When: 0, Addr: blk, Src: prefetch.SrcCDP, Depth: 1})
+	// Demand arrives immediately: fill still in flight.
+	c := ms.Access(blk, 7, true, false, 10)
+	fb := ms.Feedback()
+	if fb.Sources[prefetch.SrcCDP].Used.Raw() != 1 || fb.Sources[prefetch.SrcCDP].Late.Raw() != 1 {
+		t.Fatalf("late prefetch not credited used+late: used=%v late=%v",
+			fb.Sources[prefetch.SrcCDP].Used.Raw(), fb.Sources[prefetch.SrcCDP].Late.Raw())
+	}
+	if c <= 10+2+15 {
+		t.Fatalf("late merge completes at %d, must include remaining fill latency", c)
+	}
+	if ms.Stats().InFlightMerges != 1 {
+		t.Fatal("in-flight merge not counted")
+	}
+}
+
+func TestPrefetchDropOnCacheHit(t *testing.T) {
+	ms := newMS(t, nil)
+	const blk = 0x1000_0040
+	ms.Access(blk, 7, true, false, 0)
+	ms.Issue(prefetch.Request{When: 500, Addr: blk, Src: prefetch.SrcStream})
+	if ms.Stats().PrefDropCacheHit != 1 {
+		t.Fatal("prefetch to resident block must be dropped")
+	}
+	if ms.Feedback().Sources[prefetch.SrcStream].Issued.Raw() != 0 {
+		t.Fatal("dropped prefetch must not count as issued")
+	}
+}
+
+func TestPGUsefulnessHooks(t *testing.T) {
+	ms := newMS(t, nil)
+	var useful, useless []prefetch.PGKey
+	ms.OnPGUseful = func(pg prefetch.PGKey) { useful = append(useful, pg) }
+	ms.OnPGUseless = func(pg prefetch.PGKey) { useless = append(useless, pg) }
+
+	pg1 := prefetch.MakePGKey(11, 2)
+	pg2 := prefetch.MakePGKey(11, 3)
+	ms.Issue(prefetch.Request{When: 0, Addr: 0x1000_0040, Src: prefetch.SrcCDP, Depth: 1, PG: pg1})
+	ms.Issue(prefetch.Request{When: 0, Addr: 0x1000_0080, Src: prefetch.SrcCDP, Depth: 1, PG: pg2})
+	ms.Access(0x1000_0040, 7, true, false, 5000) // pg1 consumed
+	ms.FlushAccounting()                         // pg2 left unused
+	if len(useful) != 1 || useful[0] != pg1 {
+		t.Fatalf("useful = %v, want [pg1]", useful)
+	}
+	if len(useless) != 1 || useless[0] != pg2 {
+		t.Fatalf("useless = %v, want [pg2]", useless)
+	}
+}
+
+func TestIdealLDSOracle(t *testing.T) {
+	ms := newMS(t, func(c *Config) { c.IdealLDS = true })
+	c := ms.Access(0x1000_0000, 7, true, true, 0) // LDS load
+	if c != 0+2+15 {
+		t.Fatalf("ideal LDS miss completes at %d, want 17", c)
+	}
+	if ms.Stats().IdealLDSHits != 1 {
+		t.Fatal("ideal LDS hit not counted")
+	}
+	// Non-LDS load still misses to DRAM.
+	c2 := ms.Access(0x2000_0000, 8, true, false, 0)
+	if c2 < 450 {
+		t.Fatalf("non-LDS miss completes at %d, want >= 450", c2)
+	}
+}
+
+func TestNoPollutionSideBuffer(t *testing.T) {
+	ms := newMS(t, func(c *Config) { c.NoPollution = true })
+	ms.Issue(prefetch.Request{When: 0, Addr: 0x1000_0040, Src: prefetch.SrcCDP, Depth: 1})
+	// The L2 must not contain the block (no pollution), but a demand access
+	// finds it in the side buffer and counts as used.
+	c := ms.Access(0x1000_0040, 7, true, false, 5000)
+	if c != 5000+2+15 {
+		t.Fatalf("side-buffer hit completes at %d, want 5017", c)
+	}
+	if ms.Feedback().Sources[prefetch.SrcCDP].Used.Raw() != 1 {
+		t.Fatal("side-buffer consumption not credited")
+	}
+}
+
+func TestFilterPrefetchGate(t *testing.T) {
+	ms := newMS(t, nil)
+	ms.FilterPrefetch = func(r prefetch.Request) bool { return false }
+	ms.Issue(prefetch.Request{When: 0, Addr: 0x1000_0040, Src: prefetch.SrcCDP})
+	if ms.Stats().PrefDropFilter != 1 {
+		t.Fatal("filtered prefetch not counted as dropped")
+	}
+	if ms.Feedback().Sources[prefetch.SrcCDP].Issued.Raw() != 0 {
+		t.Fatal("filtered prefetch must not issue")
+	}
+}
+
+func TestStoreMarksDirtyAndWritesBack(t *testing.T) {
+	ms := newMS(t, nil)
+	base := uint32(0x1000_0000)
+	ms.Access(base, 1, false, false, 0) // store miss: write-allocate
+	// Evict the block from L2 by filling its set (L2: 2048 sets, 8 ways;
+	// stride = 2048*64).
+	for i := uint32(1); i <= 8; i++ {
+		ms.Access(base+i*2048*64, 1, true, false, int64(i)*2000)
+	}
+	if ms.Stats().Writebacks != 1 {
+		t.Fatalf("Writebacks = %d, want 1", ms.Stats().Writebacks)
+	}
+}
+
+func TestPollutionAttribution(t *testing.T) {
+	ms := newMS(t, nil)
+	base := uint32(0x1000_0000)
+	// Demand-fill a block, evict it from the L1 (so the later re-access
+	// reaches the L2), then evict it from the L2 with prefetch fills.
+	ms.Access(base, 1, true, false, 0)
+	for i := uint32(1); i <= 4; i++ {
+		ms.Access(base+i*8192, 1, true, false, int64(i)*1000) // same L1 set, other L2 sets
+	}
+	for i := uint32(1); i <= 8; i++ {
+		// Keep the demand clock moving so the horizon gate admits the
+		// prefetches (a quiesced core issues no prefetches).
+		ms.Access(base+i*8192+4096, 1, true, false, 10000+int64(i)*1000)
+		ms.Issue(prefetch.Request{When: 10000 + int64(i)*1000, Addr: base + i*2048*64, Src: prefetch.SrcCDP})
+	}
+	// Re-access the displaced block: pollution by CDP.
+	ms.Access(base, 1, true, false, 50000)
+	if got := ms.Feedback().Sources[prefetch.SrcCDP].Pollution.Raw(); got != 1 {
+		t.Fatalf("pollution = %v, want 1", got)
+	}
+}
+
+type fillRecorder struct {
+	fills []FillEvent
+}
+
+func (f *fillRecorder) Name() string            { return "rec" }
+func (f *fillRecorder) Source() prefetch.Source { return prefetch.SrcCDP }
+func (f *fillRecorder) OnAccess(ev AccessEvent) {}
+func (f *fillRecorder) OnFill(ev FillEvent)     { f.fills = append(f.fills, ev) }
+
+func TestDemandFillEventCarriesTriggerAndData(t *testing.T) {
+	ms := newMS(t, nil)
+	rec := &fillRecorder{}
+	ms.Attach(rec)
+	ms.Mem().Write32(0x1000_0040, 0xfeedface)
+	ms.Access(0x1000_0044, 77, true, false, 0)
+	if len(rec.fills) != 1 {
+		t.Fatalf("fills = %d, want 1", len(rec.fills))
+	}
+	ev := rec.fills[0]
+	if ev.Cause != prefetch.SrcDemand || ev.TriggerPC != 77 || ev.TriggerOff != 4 || !ev.TriggerIsLoad {
+		t.Fatalf("fill event = %+v", ev)
+	}
+	if got := uint32(ev.Data[0]) | uint32(ev.Data[1])<<8 | uint32(ev.Data[2])<<16 | uint32(ev.Data[3])<<24; got != 0xfeedface {
+		t.Fatalf("fill data word 0 = %#x, want 0xfeedface", got)
+	}
+}
+
+func TestCDPFillEventOnPrefetch(t *testing.T) {
+	ms := newMS(t, nil)
+	rec := &fillRecorder{}
+	ms.Attach(rec)
+	ms.Issue(prefetch.Request{When: 0, Addr: 0x1000_0080, Src: prefetch.SrcCDP, Depth: 2})
+	if len(rec.fills) != 1 || rec.fills[0].Cause != prefetch.SrcCDP || rec.fills[0].Depth != 2 {
+		t.Fatalf("fills = %+v, want one CDP fill at depth 2", rec.fills)
+	}
+	// Stream prefetches must not trigger content scans.
+	ms.Issue(prefetch.Request{When: 0, Addr: 0x1000_0100, Src: prefetch.SrcStream})
+	if len(rec.fills) != 1 {
+		t.Fatal("stream prefetch fill must not be scanned")
+	}
+}
+
+func TestPrefetchQueueBound(t *testing.T) {
+	ms := newMS(t, func(c *Config) { c.PrefetchQueue = 2 })
+	for i := uint32(0); i < 4; i++ {
+		ms.Issue(prefetch.Request{When: 0, Addr: 0x1000_0000 + i*64, Src: prefetch.SrcStream})
+	}
+	if got := ms.Stats().PrefDropQueue; got != 2 {
+		t.Fatalf("PrefDropQueue = %d, want 2", got)
+	}
+}
+
+func TestMergePromotionUsesIssueTime(t *testing.T) {
+	ms := newMS(t, nil)
+	const blk = 0x1000_0040
+	// Congest the low-priority path so the prefetch's own fill would be
+	// very late, then merge a demand shortly after issue: the promotion
+	// must complete near issue-time + minimum latency, not at the slow
+	// prefetch fill time.
+	for i := uint32(1); i <= 12; i++ {
+		ms.Issue(prefetch.Request{When: 0, Addr: 0x2000_0000 + i*64, Src: prefetch.SrcStream})
+	}
+	ms.Issue(prefetch.Request{When: 100, Addr: blk, Src: prefetch.SrcCDP})
+	c := ms.Access(blk, 7, true, false, 150)
+	// Promoted bound: issue(100) + MinLatency(450) + L2Lat(15) = 565.
+	if c > 600 {
+		t.Fatalf("merged demand completes at %d; promotion must cap near 565", c)
+	}
+	if c < 450 {
+		t.Fatalf("merged demand completes at %d; cannot beat the memory latency", c)
+	}
+}
+
+func TestPrefetchDropUnderCongestion(t *testing.T) {
+	ms := newMS(t, nil)
+	// Saturate the low-priority backlog; later prefetches must drop.
+	drops0 := ms.Stats().PrefDropQueue
+	for i := uint32(0); i < 200; i++ {
+		ms.Issue(prefetch.Request{When: 0, Addr: 0x1000_0000 + i*64, Src: prefetch.SrcCDP, Depth: 1})
+	}
+	if ms.Stats().PrefDropQueue == drops0 {
+		t.Fatal("no prefetches dropped under a 200-deep burst")
+	}
+	// Issued must be well below 200.
+	if issued := ms.Feedback().Sources[prefetch.SrcCDP].Issued.Raw(); issued > 150 {
+		t.Fatalf("issued %v of a 200 burst; congestion dropping too weak", issued)
+	}
+}
+
+func TestHitPrefetchSrcReported(t *testing.T) {
+	ms := newMS(t, nil)
+	rec := &accessRecorder{}
+	ms.Attach(rec)
+	ms.Issue(prefetch.Request{When: 0, Addr: 0x1000_0040, Src: prefetch.SrcStream})
+	ms.Access(0x1000_0040, 7, true, false, 5000)
+	last := rec.evs[len(rec.evs)-1]
+	if last.HitPrefetchSrc != prefetch.SrcStream {
+		t.Fatalf("HitPrefetchSrc = %v, want stream (informing-load info)", last.HitPrefetchSrc)
+	}
+	// Second access: the prefetched bit was consumed; no longer reported.
+	ms.Access(0x1000_0040, 7, true, false, 6000)
+	if last2 := rec.evs[len(rec.evs)-1]; last2.HitPrefetchSrc != prefetch.SrcDemand {
+		t.Fatalf("second hit reports %v, want demand", last2.HitPrefetchSrc)
+	}
+}
+
+type accessRecorder struct{ evs []AccessEvent }
+
+func (a *accessRecorder) Name() string            { return "rec" }
+func (a *accessRecorder) Source() prefetch.Source { return prefetch.SrcDemand }
+func (a *accessRecorder) OnAccess(ev AccessEvent) { a.evs = append(a.evs, ev) }
+func (a *accessRecorder) OnFill(FillEvent)        {}

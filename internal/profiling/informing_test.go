@@ -1,0 +1,115 @@
+package profiling
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/workload"
+)
+
+func TestInformingObservesPGs(t *testing.T) {
+	g, _ := workload.Get("mst")
+	tr := g.Build(workload.Params{Scale: 0.12, Seed: 5})
+	p := CollectInforming(tr, memsys.DefaultConfig(), cpu.DefaultConfig())
+	if len(p.PGs) == 0 {
+		t.Fatal("informing-loads profiling observed no PGs")
+	}
+	b, h := p.BeneficialHarmful()
+	if b+h == 0 {
+		t.Fatal("no classified PGs")
+	}
+}
+
+func TestInformingAgreesOnFig5Structure(t *testing.T) {
+	// Both profiling implementations must classify mst's chain-next PG as
+	// more useful than the data-pointer PG (the paper's Figure 5).
+	g, _ := workload.Get("mst")
+	params := workload.Params{Scale: 0.15, Seed: 5}
+	sim := Collect(g.Build(params), memsys.DefaultConfig(), cpu.DefaultConfig())
+	inf := CollectInforming(g.Build(params), memsys.DefaultConfig(), cpu.DefaultConfig())
+	const keyPC = 0x5_0104
+	for name, p := range map[string]*Profile{"simulated": sim, "informing": inf} {
+		next := p.PGs[prefetch.MakePGKey(keyPC, 3)]
+		d1 := p.PGs[prefetch.MakePGKey(keyPC, 1)]
+		if next.Total() == 0 || d1.Total() == 0 {
+			t.Fatalf("%s: PGs not observed (next=%d d1=%d)", name, next.Total(), d1.Total())
+		}
+		if next.Usefulness() <= d1.Usefulness() {
+			t.Errorf("%s: next %.3f <= d1 %.3f", name, next.Usefulness(), d1.Usefulness())
+		}
+	}
+}
+
+func TestInformingObserverUnit(t *testing.T) {
+	o := newInformingObserver(64)
+	// A demand fill whose word 1 points at block 0x10004000.
+	data := make([]byte, 64)
+	v := uint32(0x1000_4010)
+	data[4], data[5], data[6], data[7] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	o.OnFill(memsys.FillEvent{
+		BlockAddr: 0x1000_0040, Data: data,
+		Cause: prefetch.SrcDemand, TriggerPC: 42, TriggerOff: 0, TriggerIsLoad: true,
+	})
+	if len(o.candidates) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(o.candidates))
+	}
+	// An informing load reporting a prefetched hit on that block.
+	o.OnAccess(memsys.AccessEvent{
+		Addr: 0x1000_4010, IsLoad: true, L2Hit: true,
+		HitPrefetchSrc: prefetch.SrcCDP,
+	})
+	pg := prefetch.MakePGKey(42, 1)
+	if o.pgs[pg].Useful != 1 {
+		t.Fatalf("PG stats = %+v, want 1 useful", o.pgs[pg])
+	}
+	// Drain marks nothing else (candidate consumed).
+	o.drain()
+	if o.pgs[pg].Useless != 0 {
+		t.Fatalf("consumed candidate drained as useless: %+v", o.pgs[pg])
+	}
+}
+
+func TestInformingObserverAgesOut(t *testing.T) {
+	o := newInformingObserver(64)
+	data := make([]byte, 64)
+	v := uint32(0x1000_4000)
+	data[0], data[1], data[2], data[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	o.OnFill(memsys.FillEvent{
+		BlockAddr: 0x1000_0040, Data: data,
+		Cause: prefetch.SrcDemand, TriggerPC: 7, TriggerOff: 0, TriggerIsLoad: true,
+	})
+	o.drain() // never consumed
+	pg := prefetch.MakePGKey(7, 0)
+	if o.pgs[pg].Useless != 1 {
+		t.Fatalf("unconsumed candidate must be useless: %+v", o.pgs[pg])
+	}
+}
+
+func TestInformingIgnoresNonDemandFills(t *testing.T) {
+	o := newInformingObserver(64)
+	data := make([]byte, 64)
+	data[3] = 0x10
+	o.OnFill(memsys.FillEvent{
+		BlockAddr: 0x1000_0040, Data: data,
+		Cause: prefetch.SrcCDP, Depth: 1, TriggerOff: -1,
+	})
+	if len(o.candidates) != 0 {
+		t.Fatal("prefetch fills must not be scanned by the profiler")
+	}
+}
+
+func TestInformingSelfPointerSkipped(t *testing.T) {
+	o := newInformingObserver(64)
+	data := make([]byte, 64)
+	v := uint32(0x1000_0050) // points into the same block
+	data[0], data[1], data[2], data[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	o.OnFill(memsys.FillEvent{
+		BlockAddr: 0x1000_0040, Data: data,
+		Cause: prefetch.SrcDemand, TriggerPC: 7, TriggerOff: 0, TriggerIsLoad: true,
+	})
+	if len(o.candidates) != 0 {
+		t.Fatal("self-pointing values must be skipped")
+	}
+}

@@ -1,0 +1,201 @@
+// Package profiling implements the paper's compiler profiling step
+// (Section 3, "Profiling Implementation", first alternative): the program is
+// run once against a simulation of the target cache hierarchy and
+// prefetchers, every content-directed prefetch is attributed to its root
+// pointer group PG(L, X), and each PG's usefulness — the fraction of its
+// prefetches (including recursive ones) that were consumed by demand
+// requests — is measured. Pointer groups whose usefulness exceeds 50% are
+// classified beneficial; the result is emitted as the per-load hint bit
+// vector table the hardware consumes (paper Figure 6).
+package profiling
+
+import (
+	"sort"
+
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/dram"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/stream"
+	"ldsprefetch/internal/trace"
+)
+
+// PGStats is the measured outcome of one pointer group.
+type PGStats struct {
+	// Useful counts this PG's prefetches consumed by demand accesses.
+	Useful int64
+	// Useless counts this PG's prefetches evicted (or left) unconsumed.
+	Useless int64
+}
+
+// Total returns the number of resolved prefetches of the PG.
+func (s PGStats) Total() int64 { return s.Useful + s.Useless }
+
+// Usefulness returns the useful fraction in [0, 1].
+func (s PGStats) Usefulness() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.Useful) / float64(t)
+	}
+	return 0
+}
+
+// Profile is the result of a profiling run.
+type Profile struct {
+	// PGs maps each observed pointer group to its statistics.
+	PGs map[prefetch.PGKey]PGStats
+}
+
+// Collect runs the profiling simulation over tr: the baseline stream
+// prefetcher plus an unfiltered CDP, with every prefetch outcome attributed
+// to its root PG.
+//
+// The run consumes tr (stores are applied to its memory image); callers must
+// build a fresh trace for any subsequent measurement run.
+func Collect(tr *trace.Trace, mcfg memsys.Config, ccfg cpu.Config) *Profile {
+	ctrl := dram.NewController(dram.DefaultConfig(1))
+	ms := memsys.New(mcfg, tr.Mem, ctrl)
+	shift := uint(0)
+	for 1<<shift != mcfg.BlockSize {
+		shift++
+	}
+	sp := stream.New(32, shift, ms)
+	cdpCfg := core.DefaultCDPConfig()
+	cdpCfg.BlockSize = mcfg.BlockSize
+	cd := core.NewCDP(cdpCfg, ms)
+	ms.Attach(sp)
+	ms.Attach(cd)
+
+	p := &Profile{PGs: make(map[prefetch.PGKey]PGStats)}
+	ms.OnPGUseful = func(pg prefetch.PGKey) {
+		s := p.PGs[pg]
+		s.Useful++
+		p.PGs[pg] = s
+	}
+	ms.OnPGUseless = func(pg prefetch.PGKey) {
+		s := p.PGs[pg]
+		s.Useless++
+		p.PGs[pg] = s
+	}
+	cpu.Run(ccfg, ms, tr)
+	return p
+}
+
+// BeneficialThreshold is the paper's classification boundary: PGs with more
+// than 50% useful prefetches are beneficial.
+const BeneficialThreshold = 0.5
+
+// Hints builds the ECDP hint table: every PG whose usefulness strictly
+// exceeds threshold gets its bit set in the owning load's hint vector.
+// A non-positive threshold selects BeneficialThreshold.
+func (p *Profile) Hints(threshold float64) *core.HintTable {
+	if threshold <= 0 {
+		threshold = BeneficialThreshold
+	}
+	t := core.NewHintTable()
+	for pg, s := range p.PGs {
+		if s.Total() == 0 {
+			continue
+		}
+		if s.Usefulness() > threshold {
+			t.Mark(pg.PC(), pg.WordOff())
+		} else if _, ok := t.Lookup(pg.PC()); !ok {
+			// Record the load with an empty vector so ECDP knows it was
+			// profiled (and prefetches nothing for it), rather than
+			// treating it as unobserved.
+			t.Set(pg.PC(), core.HintVec{})
+		}
+	}
+	return t
+}
+
+// CoarseHints builds a GRP-style per-load all-or-nothing table (paper
+// Section 7.1): a load either prefetches all pointers in blocks it fetches
+// or none, decided by the aggregate usefulness of all its PGs. The paper
+// found this coarse control nearly useless (0.4% gain), which Section 7.2's
+// trigger-load filtering shares.
+func (p *Profile) CoarseHints(threshold float64) *core.HintTable {
+	if threshold <= 0 {
+		threshold = BeneficialThreshold
+	}
+	type agg struct{ useful, useless int64 }
+	byPC := map[uint32]agg{}
+	for pg, s := range p.PGs {
+		a := byPC[pg.PC()]
+		a.useful += s.Useful
+		a.useless += s.Useless
+		byPC[pg.PC()] = a
+	}
+	t := core.NewHintTable()
+	full := core.HintVec{Pos: ^uint32(0), Neg: ^uint32(0)}
+	for pc, a := range byPC {
+		if a.useful+a.useless == 0 {
+			continue
+		}
+		if float64(a.useful)/float64(a.useful+a.useless) > threshold {
+			t.Set(pc, full)
+		} else {
+			t.Set(pc, core.HintVec{})
+		}
+	}
+	return t
+}
+
+// Histogram buckets PG usefulness into the four bins of paper Figure 10:
+// [0,25%), [25,50%), [50,75%), [75,100%].
+func (p *Profile) Histogram() [4]int {
+	var h [4]int
+	for _, s := range p.PGs {
+		if s.Total() == 0 {
+			continue
+		}
+		u := s.Usefulness()
+		switch {
+		case u < 0.25:
+			h[0]++
+		case u < 0.5:
+			h[1]++
+		case u < 0.75:
+			h[2]++
+		default:
+			h[3]++
+		}
+	}
+	return h
+}
+
+// BeneficialHarmful counts PGs on each side of the 50% boundary
+// (paper Figure 4).
+func (p *Profile) BeneficialHarmful() (beneficial, harmful int) {
+	for _, s := range p.PGs {
+		if s.Total() == 0 {
+			continue
+		}
+		if s.Usefulness() > BeneficialThreshold {
+			beneficial++
+		} else {
+			harmful++
+		}
+	}
+	return
+}
+
+// TopPGs returns the n most active pointer groups, most prefetches first
+// (deterministic order), for reports and debugging.
+func (p *Profile) TopPGs(n int) []prefetch.PGKey {
+	keys := make([]prefetch.PGKey, 0, len(p.PGs))
+	for k := range p.PGs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ti, tj := p.PGs[keys[i]].Total(), p.PGs[keys[j]].Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return keys[i] < keys[j]
+	})
+	if n < len(keys) {
+		keys = keys[:n]
+	}
+	return keys
+}

@@ -1,0 +1,116 @@
+package profiling
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/workload"
+)
+
+// Paper-shape tests: the profiling pass must classify each benchmark's
+// signature pointer groups the way the paper's analysis predicts.
+
+func profileBench(t *testing.T, bench string, scale float64) *Profile {
+	t.Helper()
+	g, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Build(workload.Params{Scale: scale, Seed: 1009})
+	return Collect(tr, memsys.DefaultConfig(), cpu.DefaultConfig())
+}
+
+// usefulnessOf returns the PG's usefulness, or -1 if unobserved.
+func usefulnessOf(p *Profile, pc uint32, wordOff int) float64 {
+	s := p.PGs[prefetch.MakePGKey(pc, wordOff)]
+	if s.Total() == 0 {
+		return -1
+	}
+	return s.Usefulness()
+}
+
+func TestAmmpNextBeneficialNeighboursHarmful(t *testing.T) {
+	// ammp: atom->next is always followed; each visit dereferences only 2
+	// of the 8 neighbour pointers.
+	p := profileBench(t, "ammp", 0.2)
+	const coordPC = 0x10_010c             // the missing load anchors at atom+40
+	next := usefulnessOf(p, coordPC, -10) // next@0 relative to coords@40
+	if next < 0 {
+		t.Skip("next PG unobserved at this scale")
+	}
+	if next < 0.5 {
+		t.Errorf("ammp next PG usefulness %.3f, want beneficial (>0.5)", next)
+	}
+	// Neighbour slots (atom+4..36 → word offsets -9..-1): mostly harmful.
+	harmful := 0
+	seen := 0
+	for off := -9; off <= -2; off++ {
+		u := usefulnessOf(p, coordPC, off)
+		if u < 0 {
+			continue
+		}
+		seen++
+		if u < 0.5 {
+			harmful++
+		}
+	}
+	if seen > 0 && harmful*2 < seen {
+		t.Errorf("ammp neighbour PGs: only %d/%d harmful; expected majority", harmful, seen)
+	}
+}
+
+func TestXalancTraversalPointersBestInClass(t *testing.T) {
+	// xalancbmk: firstChild(+16) and nextSibling(+20) drive the DFS; name
+	// (+4) and attrs (+24) are payload. The traversal PGs must profile
+	// more useful than the payload PGs.
+	p := profileBench(t, "xalancbmk", 0.2)
+	const typePC = 0xc_0100
+	child := usefulnessOf(p, typePC, 4) // firstChild at +16 bytes
+	sib := usefulnessOf(p, typePC, 5)   // nextSibling at +20 bytes
+	name := usefulnessOf(p, typePC, 1)  // name at +4 bytes
+	if child < 0 || name < 0 {
+		t.Skipf("PGs unobserved: child=%v name=%v", child, name)
+	}
+	if child <= name {
+		t.Errorf("firstChild usefulness %.3f <= name %.3f", child, name)
+	}
+	if sib >= 0 && sib <= name {
+		t.Errorf("nextSibling usefulness %.3f <= name %.3f", sib, name)
+	}
+}
+
+func TestPerimeterKidsAllBeneficial(t *testing.T) {
+	// perimeter: a full DFS follows every child pointer — the paper's
+	// 83%-accuracy benchmark. All observed kid PGs must be beneficial.
+	p := profileBench(t, "perimeter", 0.2)
+	const colorPC = 0x8_0100
+	seen := 0
+	for off := 1; off <= 4; off++ { // kids at +4..+16 bytes
+		u := usefulnessOf(p, colorPC, off)
+		if u < 0 {
+			continue
+		}
+		seen++
+		if u < 0.5 {
+			t.Errorf("perimeter kid PG at +%d: usefulness %.3f, want beneficial", off*4, u)
+		}
+	}
+	if seen == 0 {
+		t.Skip("no kid PGs observed")
+	}
+}
+
+func TestHealthPatientChainBeneficial(t *testing.T) {
+	// health: the patient next pointer drives the dominant list walks.
+	p := profileBench(t, "health", 0.2)
+	const patPC = 0x7_0108
+	next := usefulnessOf(p, patPC, 2) // next at +8 from ts
+	if next < 0 {
+		t.Skip("patient next PG unobserved")
+	}
+	if next < 0.5 {
+		t.Errorf("health patient next usefulness %.3f, want beneficial", next)
+	}
+}

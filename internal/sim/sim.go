@@ -1,0 +1,439 @@
+// Package sim assembles complete simulated systems — workload, core, memory
+// hierarchy, prefetchers, throttling controllers — and runs them to produce
+// the metrics the paper reports: IPC, BPKI (bus accesses per thousand
+// retired instructions), per-prefetcher accuracy and coverage, and
+// multi-core weighted/harmonic speedups.
+package sim
+
+import (
+	"ldsprefetch/internal/baselines/dbp"
+	"ldsprefetch/internal/baselines/fdp"
+	"ldsprefetch/internal/baselines/ghb"
+	"ldsprefetch/internal/baselines/hwfilter"
+	"ldsprefetch/internal/baselines/markov"
+	"ldsprefetch/internal/baselines/pab"
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/dram"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/stream"
+	"ldsprefetch/internal/workload"
+)
+
+// Setup selects the prefetching configuration of a run. The zero value is a
+// system with no prefetching; Baseline() is the paper's baseline (aggressive
+// stream prefetcher alone).
+type Setup struct {
+	// Name labels the configuration in reports.
+	Name string
+
+	// Stream attaches the baseline stream prefetcher.
+	Stream bool
+	// CDP attaches the content-directed prefetcher; with Hints set it
+	// becomes ECDP.
+	CDP bool
+	// Hints is the compiler-provided hint table (ECDP).
+	Hints *core.HintTable
+	// Markov attaches the Markov correlation prefetcher baseline.
+	Markov bool
+	// GHB attaches the G/DC global-history-buffer baseline.
+	GHB bool
+	// DBP attaches the dependence-based prefetcher baseline.
+	DBP bool
+
+	// Throttle enables the paper's coordinated prefetcher throttling.
+	Throttle bool
+	// FDP enables per-prefetcher feedback-directed throttling (baseline).
+	FDP bool
+	// PAB enables Gendler-style best-prefetcher-only selection (baseline).
+	PAB bool
+	// HWFilter gates CDP requests through a Zhuang-Lee pollution filter.
+	HWFilter bool
+	// HWFilterBits sizes the filter (0 = the paper's 8 KB = 65536 bits).
+	HWFilterBits int
+
+	// IdealLDS converts LDS-load misses to hits (Figure 1 oracle).
+	IdealLDS bool
+	// NoPollution gives prefetches an unbounded side buffer (§2.3 oracle).
+	NoPollution bool
+
+	// ProfilePGs collects pointer-group usefulness during the run.
+	ProfilePGs bool
+
+	// Thresholds overrides the coordinated-throttling thresholds.
+	Thresholds *core.Thresholds
+	// FDPThresholds overrides the FDP thresholds.
+	FDPThresholds *fdp.Thresholds
+	// IntervalLen overrides the feedback interval (L2 evictions).
+	IntervalLen int
+	// MemCfg / CPUCfg / DRAMCfg override the paper-default hardware
+	// configuration (DRAMCfg applies to the shared controller; its
+	// RequestBuffer is still scaled by core count when zero).
+	MemCfg  *memsys.Config
+	CPUCfg  *cpu.Config
+	DRAMCfg *dram.Config
+	// InitialLevel overrides the starting aggressiveness (default
+	// Aggressive, the paper's baseline configuration).
+	InitialLevel *prefetch.AggLevel
+}
+
+// Baseline returns the paper's baseline system: the aggressive stream
+// prefetcher alone.
+func Baseline() Setup { return Setup{Name: "stream", Stream: true} }
+
+// Result is the outcome of one single-core run.
+type Result struct {
+	Benchmark string
+	Setup     string
+
+	Cycles  int64
+	Retired int64
+	IPC     float64
+
+	// BusTransfers is the number of block transfers on the core-memory bus
+	// attributable to this run (fills + writebacks); BPKI normalizes per
+	// 1000 retired instructions.
+	BusTransfers int64
+	BPKI         float64
+
+	DemandMisses int64
+	// Accuracy and Coverage are the all-time per-prefetcher metrics.
+	Accuracy [prefetch.NumSources]float64
+	Coverage [prefetch.NumSources]float64
+	Issued   [prefetch.NumSources]int64
+	Used     [prefetch.NumSources]int64
+
+	Mem memsys.Stats
+
+	// PG usefulness (when Setup.ProfilePGs): Figure 10 histogram and the
+	// Figure 4 beneficial/harmful split.
+	PGHist       [4]int
+	PGBeneficial int
+	PGHarmful    int
+}
+
+// system is one assembled core + memory stack, ready to run.
+type system struct {
+	bench string
+	ms    *memsys.MemSys
+	core  *cpu.Core
+	pgs   map[prefetch.PGKey]*pgCount
+}
+
+type pgCount struct{ useful, useless int64 }
+
+func blockShift(n int) uint {
+	s := uint(0)
+	for 1<<s != n {
+		s++
+	}
+	return s
+}
+
+// assemble builds one core's full stack for benchmark bench, sharing ctrl.
+func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (*system, error) {
+	g, err := workload.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	tr := g.Build(p)
+
+	mcfg := memsys.DefaultConfig()
+	if s.MemCfg != nil {
+		mcfg = *s.MemCfg
+	}
+	if s.IntervalLen > 0 {
+		mcfg.IntervalLen = s.IntervalLen
+	}
+	mcfg.IdealLDS = s.IdealLDS
+	mcfg.NoPollution = s.NoPollution
+	ccfg := cpu.DefaultConfig()
+	if s.CPUCfg != nil {
+		ccfg = *s.CPUCfg
+	}
+
+	ms := memsys.New(mcfg, tr.Mem, ctrl)
+	shift := blockShift(mcfg.BlockSize)
+	level := prefetch.Aggressive
+	if s.InitialLevel != nil {
+		level = s.InitialLevel.Clamp()
+	}
+
+	th := core.DefaultThresholds()
+	if s.Thresholds != nil {
+		th = *s.Thresholds
+	}
+	throttler := core.NewThrottler(th, ms.Feedback())
+	fth := fdp.DefaultThresholds()
+	if s.FDPThresholds != nil {
+		fth = *s.FDPThresholds
+	}
+	fdpCtl := fdp.NewController(fth, ms.Feedback())
+	selector := pab.NewSelector(ms.Feedback())
+	nThrottled := 0
+
+	attach := func(pf memsys.Prefetcher, src prefetch.Source, t prefetch.Throttleable, sw pab.Switchable) {
+		ms.Attach(pf)
+		if t != nil {
+			t.SetLevel(level)
+			if s.Throttle {
+				throttler.Add(src, t)
+				nThrottled++
+			}
+			if s.FDP {
+				fdpCtl.Add(src, t)
+				nThrottled++
+			}
+		}
+		if s.PAB && sw != nil {
+			selector.Add(src, sw)
+		}
+	}
+
+	if s.Stream {
+		sp := stream.New(32, shift, ms)
+		attach(sp, prefetch.SrcStream, sp, sp)
+	}
+	if s.CDP {
+		cfg := core.DefaultCDPConfig()
+		cfg.BlockSize = mcfg.BlockSize
+		cfg.Hints = s.Hints
+		cd := core.NewCDP(cfg, ms)
+		attach(cd, prefetch.SrcCDP, cd, cd)
+	}
+	if s.Markov {
+		mk := markov.New(markov.TableEntriesFor1MB, shift, ms)
+		attach(mk, prefetch.SrcMarkov, mk, nil)
+	}
+	if s.GHB {
+		gh := ghb.New(1024, shift, ms)
+		attach(gh, prefetch.SrcGHB, gh, nil)
+	}
+	if s.DBP {
+		db := dbp.New(128, 256, ms)
+		attach(db, prefetch.SrcDBP, db, nil)
+	}
+
+	if s.Throttle && nThrottled > 0 {
+		throttler.Install()
+	}
+	if s.FDP && nThrottled > 0 {
+		fdpCtl.Install()
+	}
+	if s.PAB {
+		selector.Install()
+	}
+	if s.HWFilter {
+		bits := s.HWFilterBits
+		if bits == 0 {
+			bits = 8 << 10 * 8
+		}
+		f := hwfilter.New(bits, shift)
+		ms.FilterPrefetch = func(r prefetch.Request) bool {
+			if r.Src != prefetch.SrcCDP {
+				return true
+			}
+			return f.Allow(r)
+		}
+		prevOutcome := ms.OnPrefetchOutcome
+		ms.OnPrefetchOutcome = func(blk uint32, src prefetch.Source, used bool) {
+			if prevOutcome != nil {
+				prevOutcome(blk, src, used)
+			}
+			if src == prefetch.SrcCDP {
+				f.Outcome(blk, src, used)
+			}
+		}
+	}
+
+	sys := &system{bench: bench, ms: ms, core: cpu.NewCore(ccfg, ms, tr)}
+	if s.ProfilePGs {
+		sys.pgs = make(map[prefetch.PGKey]*pgCount)
+		get := func(pg prefetch.PGKey) *pgCount {
+			c := sys.pgs[pg]
+			if c == nil {
+				c = &pgCount{}
+				sys.pgs[pg] = c
+			}
+			return c
+		}
+		ms.OnPGUseful = func(pg prefetch.PGKey) { get(pg).useful++ }
+		ms.OnPGUseless = func(pg prefetch.PGKey) { get(pg).useless++ }
+	}
+	return sys, nil
+}
+
+// result extracts the metrics from a finished system. busTransfers is the
+// share of bus traffic attributed to this run.
+func (sys *system) result(setupName string, busTransfers int64) Result {
+	cr := sys.core.Result()
+	fb := sys.ms.Feedback()
+	r := Result{
+		Benchmark:    sys.bench,
+		Setup:        setupName,
+		Cycles:       cr.Cycles,
+		Retired:      cr.Retired,
+		IPC:          cr.IPC(),
+		BusTransfers: busTransfers,
+		DemandMisses: int64(fb.DemandMisses.Raw()),
+		Mem:          sys.ms.Stats(),
+	}
+	if cr.Retired > 0 {
+		r.BPKI = float64(busTransfers) / (float64(cr.Retired) / 1000)
+	}
+	for src := prefetch.Source(0); src < prefetch.NumSources; src++ {
+		r.Accuracy[src] = fb.RawAccuracy(src)
+		r.Coverage[src] = fb.RawCoverage(src)
+		r.Issued[src] = int64(fb.Sources[src].Issued.Raw())
+		r.Used[src] = int64(fb.Sources[src].Used.Raw())
+	}
+	if sys.pgs != nil {
+		for _, c := range sys.pgs {
+			t := c.useful + c.useless
+			if t == 0 {
+				continue
+			}
+			u := float64(c.useful) / float64(t)
+			switch {
+			case u < 0.25:
+				r.PGHist[0]++
+			case u < 0.5:
+				r.PGHist[1]++
+			case u < 0.75:
+				r.PGHist[2]++
+			default:
+				r.PGHist[3]++
+			}
+			if u > 0.5 {
+				r.PGBeneficial++
+			} else {
+				r.PGHarmful++
+			}
+		}
+	}
+	return r
+}
+
+func controllerFor(s Setup, cores int) *dram.Controller {
+	cfg := dram.DefaultConfig(cores)
+	if s.DRAMCfg != nil {
+		cfg = *s.DRAMCfg
+		if cfg.RequestBuffer == 0 {
+			cfg.RequestBuffer = 32 * cores
+		}
+	}
+	return dram.NewController(cfg)
+}
+
+// RunSingle builds and runs benchmark bench on a single-core system.
+func RunSingle(bench string, p workload.Params, s Setup) (Result, error) {
+	ctrl := controllerFor(s, 1)
+	sys, err := assemble(bench, p, s, ctrl)
+	if err != nil {
+		return Result{}, err
+	}
+	for !sys.core.Done() {
+		sys.core.Step(1 << 16)
+	}
+	sys.ms.FlushAccounting()
+	return sys.result(s.Name, ctrl.Transfers), nil
+}
+
+// MultiResult is the outcome of a multi-core run.
+type MultiResult struct {
+	Benchmarks []string
+	Setup      string
+	// PerCore holds each core's shared-run metrics (BPKI fields are
+	// computed against total bus traffic and are meaningful only in
+	// aggregate).
+	PerCore []Result
+	// AloneIPC is each benchmark's IPC running alone on the same
+	// configuration (for weighted/harmonic speedup).
+	AloneIPC []float64
+	// WeightedSpeedup = Σ IPC_shared / IPC_alone (Snavely & Tullsen).
+	WeightedSpeedup float64
+	// HmeanSpeedup = N / Σ (IPC_alone / IPC_shared) (Luo et al.).
+	HmeanSpeedup float64
+	// BusTransfers is total traffic; BusPKI normalizes by total kilo-instr.
+	BusTransfers int64
+	BusPKI       float64
+}
+
+// RunMulti runs the given benchmarks concurrently, one per core, on a shared
+// DRAM controller (private L1/L2 per core, as in the paper's multi-core
+// configuration), then runs each benchmark alone on the same configuration
+// to normalize the speedup metrics.
+func RunMulti(benches []string, p workload.Params, s Setup) (MultiResult, error) {
+	n := len(benches)
+	ctrl := controllerFor(s, n)
+	systems := make([]*system, n)
+	for i, b := range benches {
+		sys, err := assemble(b, p, s, ctrl)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		systems[i] = sys
+	}
+
+	// Interleave cores finely, always advancing the core that is furthest
+	// behind in simulated time, so shared-resource contention is resolved
+	// in approximate timestamp order.
+	const chunk = 64
+	for {
+		best := -1
+		var bestNow int64
+		for i, sys := range systems {
+			if sys.core.Done() {
+				continue
+			}
+			if best == -1 || sys.core.Now() < bestNow {
+				best, bestNow = i, sys.core.Now()
+			}
+		}
+		if best == -1 {
+			break
+		}
+		systems[best].core.Step(chunk)
+	}
+
+	res := MultiResult{Benchmarks: benches, Setup: s.Name, BusTransfers: ctrl.Transfers}
+	var totalRetired int64
+	for _, sys := range systems {
+		sys.ms.FlushAccounting()
+		r := sys.result(s.Name, ctrl.Transfers)
+		totalRetired += r.Retired
+		res.PerCore = append(res.PerCore, r)
+	}
+	if totalRetired > 0 {
+		res.BusPKI = float64(ctrl.Transfers) / (float64(totalRetired) / 1000)
+	}
+
+	// Alone runs on the same (multi-core-sized) memory system.
+	res.AloneIPC = make([]float64, n)
+	for i, b := range benches {
+		aloneCtrl := controllerFor(s, n)
+		sys, err := assemble(b, p, s, aloneCtrl)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		for !sys.core.Done() {
+			sys.core.Step(1 << 16)
+		}
+		sys.ms.FlushAccounting()
+		res.AloneIPC[i] = sys.core.Result().IPC()
+	}
+	var hs float64
+	for i, r := range res.PerCore {
+		if res.AloneIPC[i] > 0 {
+			res.WeightedSpeedup += r.IPC / res.AloneIPC[i]
+		}
+		if r.IPC > 0 {
+			hs += res.AloneIPC[i] / r.IPC
+		}
+	}
+	if hs > 0 {
+		res.HmeanSpeedup = float64(n) / hs
+	}
+	return res, nil
+}

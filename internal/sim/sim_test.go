@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/profiling"
+	"ldsprefetch/internal/workload"
+)
+
+// testParams keeps unit-test runs fast; data still exceeds the small caches
+// used by shrunkMem.
+func testParams() workload.Params { return workload.Params{Scale: 0.12, Seed: 5} }
+
+func TestRunSingleUnknownBenchmark(t *testing.T) {
+	if _, err := RunSingle("nosuch", testParams(), Baseline()); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestBaselineMetricsSane(t *testing.T) {
+	r, err := RunSingle("mst", testParams(), Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 || r.IPC > 4 {
+		t.Fatalf("IPC = %v out of range", r.IPC)
+	}
+	if r.Cycles <= 0 || r.Retired <= 0 {
+		t.Fatalf("cycles=%d retired=%d", r.Cycles, r.Retired)
+	}
+	if r.BPKI < 0 {
+		t.Fatalf("BPKI = %v", r.BPKI)
+	}
+	if r.Benchmark != "mst" || r.Setup != "stream" {
+		t.Fatalf("labels = %q/%q", r.Benchmark, r.Setup)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, _ := RunSingle("perlbench", testParams(), Baseline())
+	b, _ := RunSingle("perlbench", testParams(), Baseline())
+	if a.Cycles != b.Cycles || a.BusTransfers != b.BusTransfers {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d cycles/transfers",
+			a.Cycles, a.BusTransfers, b.Cycles, b.BusTransfers)
+	}
+}
+
+func TestCDPIssuesOnPointerBenchmark(t *testing.T) {
+	r, err := RunSingle("health", testParams(), Setup{Stream: true, CDP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Issued[prefetch.SrcCDP] == 0 {
+		t.Fatal("CDP issued nothing on health")
+	}
+	if r.Accuracy[prefetch.SrcCDP] <= 0 || r.Accuracy[prefetch.SrcCDP] > 1 {
+		t.Fatalf("CDP accuracy = %v", r.Accuracy[prefetch.SrcCDP])
+	}
+}
+
+func TestCDPQuietOnStreamingBenchmark(t *testing.T) {
+	r, err := RunSingle("libquantum", testParams(), Setup{Stream: true, CDP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming blocks contain no pointer-looking values.
+	if r.Issued[prefetch.SrcCDP] != 0 {
+		t.Fatalf("CDP issued %d prefetches on libquantum", r.Issued[prefetch.SrcCDP])
+	}
+}
+
+func TestIdealLDSNeverSlower(t *testing.T) {
+	base, _ := RunSingle("health", testParams(), Baseline())
+	ideal, _ := RunSingle("health", testParams(), Setup{Stream: true, IdealLDS: true})
+	if ideal.IPC < base.IPC*0.99 {
+		t.Fatalf("ideal LDS %.4f slower than baseline %.4f", ideal.IPC, base.IPC)
+	}
+}
+
+func TestECDPUsesHints(t *testing.T) {
+	g, _ := workload.Get("mst")
+	prof := profiling.Collect(g.Build(testParams()), memsys.DefaultConfig(), cpu.DefaultConfig())
+	hints := prof.Hints(0)
+	if hints.Len() == 0 {
+		t.Fatal("profile produced no hints")
+	}
+	p := workload.Params{Scale: 0.12, Seed: 6}
+	cdp, _ := RunSingle("mst", p, Setup{Stream: true, CDP: true})
+	ecdp, _ := RunSingle("mst", p, Setup{Stream: true, CDP: true, Hints: hints})
+	if ecdp.Issued[prefetch.SrcCDP] >= cdp.Issued[prefetch.SrcCDP] {
+		t.Fatalf("ECDP issued %d >= CDP %d: hints not filtering",
+			ecdp.Issued[prefetch.SrcCDP], cdp.Issued[prefetch.SrcCDP])
+	}
+}
+
+func TestProfilePGsCollects(t *testing.T) {
+	r, _ := RunSingle("mst", testParams(), Setup{Stream: true, CDP: true, ProfilePGs: true})
+	total := r.PGBeneficial + r.PGHarmful
+	if total == 0 {
+		t.Fatal("no pointer groups observed")
+	}
+	sum := 0
+	for _, v := range r.PGHist {
+		sum += v
+	}
+	if sum != total {
+		t.Fatalf("histogram sum %d != classified PGs %d", sum, total)
+	}
+}
+
+func TestBaselinePrefetchersAttach(t *testing.T) {
+	for _, s := range []Setup{
+		{Name: "markov", Stream: true, Markov: true},
+		{Name: "ghb", GHB: true},
+		{Name: "dbp", Stream: true, DBP: true},
+		{Name: "fdp", Stream: true, CDP: true, FDP: true},
+		{Name: "pab", Stream: true, CDP: true, PAB: true},
+		{Name: "filter", Stream: true, CDP: true, HWFilter: true},
+		{Name: "nopol", Stream: true, CDP: true, NoPollution: true},
+	} {
+		if _, err := RunSingle("mst", testParams(), s); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestInitialLevelRespected(t *testing.T) {
+	lv := prefetch.VeryConservative
+	cons, _ := RunSingle("health", testParams(), Setup{Stream: true, CDP: true, InitialLevel: &lv})
+	aggr, _ := RunSingle("health", testParams(), Setup{Stream: true, CDP: true})
+	// Depth 1 must issue fewer CDP prefetches than depth 4.
+	if cons.Issued[prefetch.SrcCDP] >= aggr.Issued[prefetch.SrcCDP] {
+		t.Fatalf("very-conservative issued %d >= aggressive %d",
+			cons.Issued[prefetch.SrcCDP], aggr.Issued[prefetch.SrcCDP])
+	}
+}
+
+func TestRunMulti(t *testing.T) {
+	r, err := RunMulti([]string{"mst", "libquantum"}, testParams(), Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerCore) != 2 || len(r.AloneIPC) != 2 {
+		t.Fatalf("per-core results = %d", len(r.PerCore))
+	}
+	if r.WeightedSpeedup <= 0 || r.WeightedSpeedup > 2.01 {
+		t.Fatalf("weighted speedup = %v out of [0,2]", r.WeightedSpeedup)
+	}
+	if r.HmeanSpeedup <= 0 || r.HmeanSpeedup > 1.01 {
+		t.Fatalf("hmean speedup = %v (shared can't beat alone)", r.HmeanSpeedup)
+	}
+	if r.BusTransfers <= 0 || r.BusPKI <= 0 {
+		t.Fatalf("bus stats = %d/%v", r.BusTransfers, r.BusPKI)
+	}
+	// Sharing must not make a core faster than running alone.
+	for i, pc := range r.PerCore {
+		if pc.IPC > r.AloneIPC[i]*1.01 {
+			t.Fatalf("core %d shared IPC %v > alone %v", i, pc.IPC, r.AloneIPC[i])
+		}
+	}
+}
+
+func TestRunMultiUnknownBenchmark(t *testing.T) {
+	if _, err := RunMulti([]string{"mst", "nosuch"}, testParams(), Baseline()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestContentionSlowsSharedCores(t *testing.T) {
+	// Two memory-hungry benchmarks sharing a controller must each run
+	// slower than alone.
+	r, err := RunMulti([]string{"health", "health"}, testParams(), Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WeightedSpeedup >= 2.0 {
+		t.Fatalf("no contention visible: WS = %v", r.WeightedSpeedup)
+	}
+}

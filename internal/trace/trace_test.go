@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/mem"
+)
+
+func TestBuilderEmitsAndReads(t *testing.T) {
+	m := mem.New()
+	m.Write32(mem.HeapBase, 0x1234)
+	b := NewBuilder("t", m, 0)
+	v, idx := b.Load(100, mem.HeapBase, NoDep, false)
+	if v != 0x1234 {
+		t.Fatalf("functional load = %#x, want 0x1234", v)
+	}
+	if idx != 0 {
+		t.Fatalf("op index = %d, want 0", idx)
+	}
+	tr := b.Trace()
+	if len(tr.Ops) != 1 || tr.Ops[0].Kind != Load || tr.Ops[0].PC != 100 {
+		t.Fatalf("unexpected ops: %+v", tr.Ops)
+	}
+}
+
+func TestBuilderStoreAppliesImmediately(t *testing.T) {
+	m := mem.New()
+	b := NewBuilder("t", m, 0)
+	b.Store(200, mem.HeapBase+8, 0xabcd, NoDep)
+	v, _ := b.Load(201, mem.HeapBase+8, NoDep, false)
+	if v != 0xabcd {
+		t.Fatalf("load after store = %#x, want 0xabcd", v)
+	}
+}
+
+func TestBuilderPadding(t *testing.T) {
+	b := NewBuilder("t", mem.New(), 3)
+	b.Load(1, mem.HeapBase, NoDep, false)
+	b.Store(2, mem.HeapBase, 7, NoDep)
+	s := Summarize(b.Trace())
+	// Each pad is one batched compute op carrying 3 instructions.
+	if s.Loads != 1 || s.Stores != 1 || s.Computes != 2 || s.Instructions != 8 {
+		t.Fatalf("stats = %+v, want 1 load, 1 store, 2 compute batches, 8 instructions", s)
+	}
+}
+
+func TestComputeBatching(t *testing.T) {
+	b := NewBuilder("t", mem.New(), 0)
+	b.Compute(100)
+	s := Summarize(b.Trace())
+	wantOps := (100 + MaxBatch - 1) / MaxBatch
+	if s.Computes != wantOps || s.Instructions != 100 {
+		t.Fatalf("stats = %+v, want %d batch ops, 100 instructions", s, wantOps)
+	}
+	for i := range b.Trace().Ops {
+		if n := b.Trace().Ops[i].Instructions(); n < 1 || n > MaxBatch {
+			t.Fatalf("op %d carries %d instructions", i, n)
+		}
+	}
+}
+
+func TestDependenceChain(t *testing.T) {
+	m := mem.New()
+	// Build a two-node list: node0.next = node1.
+	n0, n1 := mem.HeapBase, mem.HeapBase+64
+	m.Write32(n0, n1)
+	b := NewBuilder("t", m, 0)
+	ptr, dep := b.Load(1, n0, NoDep, false)
+	_, _ = b.Load(2, ptr, dep, true)
+	tr := b.Trace()
+	if err := Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ops[1].Dep != 0 {
+		t.Fatalf("second load dep = %d, want 0", tr.Ops[1].Dep)
+	}
+	if tr.Ops[1].Addr != n1 {
+		t.Fatalf("second load addr = %#x, want %#x", tr.Ops[1].Addr, n1)
+	}
+	if !tr.Ops[1].LDS {
+		t.Fatal("second load should be LDS-tagged")
+	}
+}
+
+func TestValidateRejectsForwardDep(t *testing.T) {
+	tr := &Trace{Name: "bad", Mem: mem.New(), Ops: []Op{
+		{Kind: Load, Addr: 1, PC: 1, Dep: 1},
+		{Kind: Load, Addr: 2, PC: 2, Dep: NoDep},
+	}}
+	if err := Validate(tr); err == nil {
+		t.Fatal("expected error for forward dependence")
+	}
+}
+
+func TestValidateRejectsDepOnStore(t *testing.T) {
+	tr := &Trace{Name: "bad", Mem: mem.New(), Ops: []Op{
+		{Kind: Store, Addr: 1, PC: 1, Dep: NoDep},
+		{Kind: Load, Addr: 2, PC: 2, Dep: 0},
+	}}
+	if err := Validate(tr); err == nil {
+		t.Fatal("expected error for dependence on store")
+	}
+}
+
+func TestValidateRejectsZeroPC(t *testing.T) {
+	tr := &Trace{Name: "bad", Mem: mem.New(), Ops: []Op{
+		{Kind: Load, Addr: 1, PC: 0, Dep: NoDep},
+	}}
+	if err := Validate(tr); err == nil {
+		t.Fatal("expected error for zero PC")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Load.String() != "load" || Store.String() != "store" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatalf("unknown kind = %q", Kind(9).String())
+	}
+}

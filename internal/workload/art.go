@@ -1,0 +1,66 @@
+package workload
+
+import "ldsprefetch/internal/trace"
+
+// art models SPEC CPU2000 179.art: an adaptive-resonance neural network
+// dominated by sequential sweeps over large weight arrays. The stream
+// prefetcher covers these well; the scanned blocks hold numeric data that
+// fails the pointer compare-bits test, so CDP stays quiet (1.9% accuracy)
+// and the proposal neither helps nor hurts much (+1.3% in the paper).
+func init() {
+	register(Generator{
+		Name:             "art",
+		PointerIntensive: true,
+		Description:      "neural-net weight array sweeps; stream-friendly, pointer-poor",
+		Build:            buildArt,
+	})
+}
+
+const (
+	artPCWeight = 0xf_0100 // weight sweep load
+	artPCF1     = 0xf_0104 // f1 layer load
+	artPCStore  = 0xf_0108 // weight update store
+	artPCProto  = 0xf_010c // prototype pointer-table load
+	artPCMatch  = 0xf_0110 // dereference of the winning prototype
+)
+
+func buildArt(p Params) *trace.Trace {
+	weights := scaledData(600000, p) // 2.4 MB of 4-byte weights
+	f1 := scaledData(10000, p)
+	nProtos := scaledData(64, p)
+	epochs := scaled(4, p)
+
+	bd := newBuild("art", p, 16<<20, 2)
+	wBase := bd.alloc.Alloc(uint32(4 * weights))
+	f1Base := bd.alloc.Alloc(uint32(4 * f1))
+	protoTable := bd.alloc.Alloc(uint32(4 * nProtos))
+	protos := bd.seqAlloc(nProtos, 64)
+	m := bd.b.Mem()
+	for i := 0; i < weights; i++ {
+		m.Write32(wBase+uint32(4*i), uint32(bd.rng.Intn(1<<16))) // small ints: not pointers
+	}
+	for i, pr := range protos {
+		m.Write32(protoTable+uint32(4*i), pr)
+	}
+
+	b := bd.b
+	for e := 0; e < epochs; e++ {
+		// Forward sweep: weights × f1 (two concurrent streams), one load
+		// per cache block.
+		for i := 0; i < weights; i += 16 {
+			b.Load(artPCWeight, wBase+uint32(4*i), trace.NoDep, false)
+			b.Load(artPCF1, f1Base+uint32(4*(i%f1)), trace.NoDep, false)
+			b.Compute(160)
+		}
+		// Winner selection: one pointer-table access per epoch block.
+		for k := 0; k < 64; k++ {
+			pr, pdep := b.Load(artPCProto, protoTable+uint32(4*bd.rng.Intn(nProtos)), trace.NoDep, false)
+			b.Load(artPCMatch, pr, pdep, true)
+		}
+		// Update sweep (stores).
+		for i := 0; i < weights; i += 16 {
+			b.Store(artPCStore, wBase+uint32(4*i), uint32(i), trace.NoDep)
+		}
+	}
+	return b.Trace()
+}

@@ -1,0 +1,100 @@
+package workload
+
+import "ldsprefetch/internal/trace"
+
+// astar models SPEC CPU2006 473.astar: pathfinding over a large grid with a
+// linked open list. Popping the open list chases node→next and node→cell
+// pointers (both reliably followed — beneficial PGs), while neighbour
+// expansion touches grid cells computed by address arithmetic (prefetchable
+// only when the walk direction cooperates). Insertions walk a short prefix
+// of the list. The paper measures 29.1% CDP accuracy and a 24.7% gain for
+// the full proposal.
+func init() {
+	register(Generator{
+		Name:             "astar",
+		PointerIntensive: true,
+		Description:      "grid pathfinding with a linked open list (473.astar)",
+		Build:            buildAstar,
+	})
+}
+
+const (
+	astarPCHead   = 0xb_0100 // open-list head load
+	astarPCCell   = 0xb_0104 // open node -> cell pointer load
+	astarPCCellG  = 0xb_0108 // grid cell g-value load
+	astarPCNext   = 0xb_010c // open node -> next chase
+	astarPCNeigh  = 0xb_0110 // neighbour cell load (address arithmetic)
+	astarPCInsSt  = 0xb_0114 // insertion store of next pointer
+	astarPCHeadSt = 0xb_0118 // head update store
+	astarPCCellSt = 0xb_011c // store of a reinserted node's cell pointer
+)
+
+// open node layout: cell@0, next@4, prio@8, pad (16 bytes).
+// grid cell layout: g@0, h@4, flags@8, pad (16 bytes).
+func buildAstar(p Params) *trace.Trace {
+	side := scaledData(448, p) // grid side; 448² × 16 B ≈ 3.2 MB
+	if side < 16 {
+		side = 16
+	}
+	nOpen := scaledData(150000, p)
+	pops := scaled(50000, p)
+
+	bd := newBuild("astar", p, 16<<20, 6)
+	grid := bd.alloc.Alloc(uint32(side * side * 16))
+	open := bd.shuffledAlloc(nOpen, 16)
+	m := bd.b.Mem()
+
+	cellAt := func(x, y int) uint32 { return grid + uint32((y*side+x)*16) }
+	// Seed every open node with a random cell and chain them.
+	listHead := uint32(0)
+	for i, n := range open {
+		m.Write32(n, cellAt(bd.rng.Intn(side), bd.rng.Intn(side)))
+		m.Write32(n+8, uint32(bd.rng.Intn(1<<16)))
+		m.Write32(n+4, listHead)
+		listHead = n
+		_ = i
+	}
+	headSlot := bd.alloc.Alloc(4)
+	m.Write32(headSlot, listHead)
+
+	b := bd.b
+	var recycled []uint32
+	for it := 0; it < pops; it++ {
+		// Pop the head.
+		node, ndep := b.Load(astarPCHead, headSlot, trace.NoDep, false)
+		if node == 0 {
+			break
+		}
+		cell, cdep := b.Load(astarPCCell, node, ndep, true)
+		b.Load(astarPCCellG, cell, cdep, true)
+		b.Compute(80) // heuristic + open-list bookkeeping
+		next, _ := b.Load(astarPCNext, node+4, ndep, true)
+		b.Store(astarPCHeadSt, headSlot, next, trace.NoDep)
+		recycled = append(recycled, node)
+
+		// Expand neighbours of the popped cell: address arithmetic over
+		// the grid (the streaming-ish component).
+		cx := int((cell - grid) / 16 % uint32(side))
+		cy := int((cell - grid) / 16 / uint32(side))
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := cx+d[0], cy+d[1]
+			if nx < 0 || ny < 0 || nx >= side || ny >= side {
+				continue
+			}
+			b.Load(astarPCNeigh, cellAt(nx, ny), trace.NoDep, false)
+		}
+		b.Compute(4)
+
+		// Reinsert a recycled node at the head with a fresh cell
+		// every few pops, keeping the list populated.
+		if it%2 == 0 && len(recycled) > 0 {
+			n := recycled[len(recycled)-1]
+			recycled = recycled[:len(recycled)-1]
+			cur, _ := b.Load(astarPCHead, headSlot, trace.NoDep, false)
+			b.Store(astarPCInsSt, n+4, cur, trace.NoDep)
+			b.Store(astarPCHeadSt, headSlot, n, trace.NoDep)
+			b.Store(astarPCCellSt, n, cellAt(bd.rng.Intn(side), bd.rng.Intn(side)), trace.NoDep)
+		}
+	}
+	return b.Trace()
+}

@@ -1,0 +1,104 @@
+package workload
+
+import "ldsprefetch/internal/trace"
+
+// bisort models the Olden bisort benchmark: a bitonic sort over a binary
+// tree that swaps subtrees very frequently while traversing. The paper
+// (Section 2.3) explains why original CDP collapses here: upon a miss CDP
+// prefetches the pointers under a node's subtree; when that subtree is
+// swapped out, the program traverses the newly swapped-in subtree and almost
+// all previously prefetched pointers are useless.
+//
+// The proxy has two phases with distinct static loads: a dominant
+// comparison-driven descent (one child followed per node, frequent child
+// swaps — its child PGs profile harmful), and occasional small in-order
+// subtree sweeps (both children followed — its child PGs profile
+// beneficial). ECDP's fine grain keeps the sweep prefetches and kills the
+// descent prefetches; original CDP issues both and pollutes the cache.
+func init() {
+	register(Generator{
+		Name:             "bisort",
+		PointerIntensive: true,
+		Description:      "binary tree bitonic sort: comparison descents with frequent subtree swaps",
+		Build:            buildBisort,
+	})
+}
+
+const (
+	bisortPCDescVal  = 0x6_0100 // node value load during descent
+	bisortPCDescKid  = 0x6_0104 // child pointer load during descent
+	bisortPCSwapL    = 0x6_0108 // left child load at a swap
+	bisortPCSwapR    = 0x6_010c // right child load at a swap
+	bisortPCSwapStL  = 0x6_0110 // store of swapped left pointer
+	bisortPCSwapStR  = 0x6_0114 // store of swapped right pointer
+	bisortPCSweepVal = 0x6_0118 // node value load during in-order sweep
+	bisortPCSweepKid = 0x6_011c // child pointer load during sweep
+)
+
+// bisort node layout: value@0, left@4, right@8, pad@12 (16 bytes).
+func buildBisort(p Params) *trace.Trace {
+	nNodes := scaledData(1<<18, p) // complete binary tree, ~4 MB (4x the L2)
+	iters := scaled(3200, p)
+
+	bd := newBuild("bisort", p, 8<<20, 8)
+	nodes := bd.shuffledAlloc(nNodes, 16)
+	m := bd.b.Mem()
+	for i, addr := range nodes {
+		m.Write32(addr, uint32(bd.rng.Intn(1<<20))) // value
+		if l := 2*i + 1; l < nNodes {
+			m.Write32(addr+4, nodes[l])
+		}
+		if r := 2*i + 2; r < nNodes {
+			m.Write32(addr+8, nodes[r])
+		}
+	}
+
+	b := bd.b
+	// sweep does an in-order traversal of the subtree rooted at addr,
+	// bounded to small depth, following both children (beneficial PGs).
+	var sweep func(addr uint32, dep int32, depth int)
+	sweep = func(addr uint32, dep int32, depth int) {
+		if addr == 0 || depth == 0 {
+			return
+		}
+		_, _ = b.Load(bisortPCSweepVal, addr, dep, true)
+		b.Compute(40)
+		l, ldep := b.Load(bisortPCSweepKid, addr+4, dep, true)
+		sweep(l, ldep, depth-1)
+		r, rdep := b.Load(bisortPCSweepKid, addr+8, dep, true)
+		sweep(r, rdep, depth-1)
+	}
+
+	for it := 0; it < iters; it++ {
+		// Comparison-driven descent from the root to a leaf; the pivot
+		// varies per pass so every descent takes its own path.
+		pivot := uint32(bd.rng.Intn(1 << 20))
+		addr := nodes[0]
+		dep := trace.NoDep
+		for addr != 0 {
+			v, _ := b.Load(bisortPCDescVal, addr, dep, true)
+			b.Compute(40) // bitonic compare/merge step
+			off := uint32(4)
+			if pivot >= v {
+				off = 8
+			}
+			addr, dep = b.Load(bisortPCDescKid, addr+off, dep, true)
+
+			// Frequent subtree swap at the visited node: exchange the
+			// children of the next node, invalidating whatever CDP
+			// prefetched under the old subtree.
+			if addr != 0 && bd.rng.Intn(3) == 0 {
+				l, _ := b.Load(bisortPCSwapL, addr+4, dep, true)
+				r, _ := b.Load(bisortPCSwapR, addr+8, dep, true)
+				b.Store(bisortPCSwapStL, addr+4, r, dep)
+				b.Store(bisortPCSwapStR, addr+8, l, dep)
+			}
+		}
+		// Occasional small in-order sweep (the sort's merge step).
+		if it%8 == 0 {
+			start := nodes[bd.rng.Intn(nNodes/4)]
+			sweep(start, trace.NoDep, 5)
+		}
+	}
+	return b.Trace()
+}

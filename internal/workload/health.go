@@ -1,0 +1,115 @@
+package workload
+
+import "ldsprefetch/internal/trace"
+
+// health models the Olden health benchmark: a 4-ary tree of villages, each
+// holding a linked list of patients, walked every simulation step. Nearly
+// every pointer in a fetched block is eventually followed — the village
+// child pointers during the tree walk and the patient next pointers during
+// the long list traversals — so CDP is unusually accurate here (the paper
+// measures 58.9%) and the LDS prefetching potential is enormous (health
+// dominates the paper's averages, which is why results are also reported
+// without it).
+func init() {
+	register(Generator{
+		Name:             "health",
+		PointerIntensive: true,
+		Description:      "4-ary village tree with long patient linked lists (Olden health)",
+		Build:            buildHealth,
+	})
+}
+
+const (
+	healthPCKid     = 0x7_0100 // village child pointer load
+	healthPCPat     = 0x7_0104 // village patient-list head load
+	healthPCPatData = 0x7_0108 // patient timestamp load (the missing load)
+	healthPCPatNext = 0x7_010c // patient next chase
+	healthPCPatSt   = 0x7_0110 // patient timestamp update store
+)
+
+// village layout: kids[4]@0..12, patients@16, pad (32 bytes).
+// patient layout: ts@0, severity@4, next@8, pad (16 bytes).
+func buildHealth(p Params) *trace.Trace {
+	const depth = 6 // 4-ary: (4^6-1)/3 = 1365 villages
+	nVillages := 0
+	for d, c := 0, 1; d < depth; d, c = d+1, c*4 {
+		nVillages += c
+	}
+	nPatients := scaledData(180000, p)
+	steps := scaled(4, p)
+
+	bd := newBuild("health", p, 8<<20, 6)
+	villages := bd.shuffledAlloc(nVillages, 32)
+	patients := bd.shuffledAllocRuns(nPatients, 16, 8)
+	m := bd.b.Mem()
+
+	for i, v := range villages {
+		for k := 0; k < 4; k++ {
+			if c := 4*i + k + 1; c < nVillages {
+				m.Write32(v+uint32(4*k), villages[c])
+			}
+		}
+	}
+	// Patients are allocated at their village (as in Olden health, where a
+	// village's patient records come from its own allocations), so each
+	// village's list occupies consecutive ids — and hence mostly
+	// consecutive addresses within the heap's allocation runs. Leaves get
+	// most of the patients. Village visit order is randomized relative to
+	// allocation order.
+	lists := make([][]uint32, nVillages)
+	firstLeaf := nVillages - (nVillages*3+1)/4 // approximate leaf range start
+	order := bd.rng.Perm(nVillages - firstLeaf)
+	next := 0
+	for _, leaf := range order {
+		v := firstLeaf + leaf
+		n := 1 + bd.rng.Intn(2*nPatients/(nVillages-firstLeaf))
+		for k := 0; k < n && next < nPatients; k++ {
+			lists[v] = append(lists[v], patients[next])
+			next++
+		}
+	}
+	for next < nPatients { // leftovers go to random internal villages
+		v := bd.rng.Intn(firstLeaf)
+		lists[v] = append(lists[v], patients[next])
+		next++
+	}
+	for i, pa := range patients {
+		m.Write32(pa, uint32(i%1024))   // ts
+		m.Write32(pa+4, uint32(i%16)+1) // severity
+	}
+	for v, list := range lists {
+		head := uint32(0)
+		for i := len(list) - 1; i >= 0; i-- {
+			m.Write32(list[i]+8, head)
+			head = list[i]
+		}
+		m.Write32(villages[v]+16, head)
+	}
+
+	b := bd.b
+	var walk func(addr uint32, dep int32, step int)
+	walk = func(addr uint32, dep int32, step int) {
+		if addr == 0 {
+			return
+		}
+		// Visit children first (check_patients walks the whole tree).
+		for k := 0; k < 4; k++ {
+			kid, kdep := b.Load(healthPCKid, addr+uint32(4*k), dep, true)
+			walk(kid, kdep, step)
+		}
+		// Traverse this village's patient list.
+		pat, pdep := b.Load(healthPCPat, addr+16, dep, true)
+		for pat != 0 {
+			b.Load(healthPCPatData, pat, pdep, true)
+			b.Compute(100) // per-patient treatment work
+			if step%4 == 0 {
+				b.Store(healthPCPatSt, pat, uint32(step), pdep)
+			}
+			pat, pdep = b.Load(healthPCPatNext, pat+8, pdep, true)
+		}
+	}
+	for s := 0; s < steps; s++ {
+		walk(villages[0], trace.NoDep, s)
+	}
+	return b.Trace()
+}

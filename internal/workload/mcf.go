@@ -1,0 +1,91 @@
+package workload
+
+import "ldsprefetch/internal/trace"
+
+// mcf models SPEC CPU2006 429.mcf (network simplex): the pricing loop sweeps
+// a multi-megabyte arc array whose entries are dense with node pointers
+// (tail, head, nextout, nextin), but only the rare arcs that violate the
+// pricing predicate have their endpoints dereferenced, followed by a short
+// walk up the basis tree. Scanned arc blocks therefore expose ~8 pointers of
+// which almost none are followed — the paper measures 1.4% CDP accuracy and
+// one of the largest CDP-induced slowdowns.
+func init() {
+	register(Generator{
+		Name:             "mcf",
+		PointerIntensive: true,
+		Description:      "network-simplex arc array sweep with rare node dereference and basis-tree walks",
+		Build:            buildMCF,
+	})
+}
+
+const (
+	mcfPCArcCost  = 0xa_0100 // arc cost load during the pricing sweep
+	mcfPCArcTail  = 0xa_0104 // tail node pointer load (violating arcs only)
+	mcfPCNodePot  = 0xa_0108 // node potential load
+	mcfPCNodePred = 0xa_010c // basis-tree pred chase
+)
+
+// arc layout: cost@0, tail@4, head@8, nextout@12, nextin@16, flow@20,
+// ident@24, pad (32 bytes).
+// node layout: potential@0, pred@4, basicArc@8, firstout@12, depth@16,
+// pad (32 bytes).
+func buildMCF(p Params) *trace.Trace {
+	nArcs := scaledData(100000, p)
+	nNodes := scaledData(60000, p) // ~1.9 MB of nodes: exceeds the 1 MB L2
+	sweeps := scaled(5, p)
+
+	bd := newBuild("mcf", p, 16<<20, 6)
+	nodes := bd.shuffledAlloc(nNodes, 32)
+	arcs := bd.seqAlloc(nArcs, 32)
+	m := bd.b.Mem()
+
+	for i, n := range nodes {
+		m.Write32(n, uint32(bd.rng.Intn(1<<16))) // potential
+		if i > 0 {
+			m.Write32(n+4, nodes[bd.rng.Intn(i)]) // pred: toward the root
+		}
+		m.Write32(n+8, arcs[bd.rng.Intn(nArcs)])  // basicArc
+		m.Write32(n+12, arcs[bd.rng.Intn(nArcs)]) // firstout
+	}
+	for i, a := range arcs {
+		m.Write32(a, uint32(bd.rng.Intn(1<<12))) // cost; low bits decide violation
+		m.Write32(a+4, nodes[bd.rng.Intn(nNodes)])
+		m.Write32(a+8, nodes[bd.rng.Intn(nNodes)])
+		if i+1 < nArcs {
+			m.Write32(a+12, arcs[i+1])
+		}
+		if i%4 == 0 {
+			m.Write32(a+16, arcs[bd.rng.Intn(nArcs)])
+		}
+	}
+
+	b := bd.b
+	// The simplex processes arcs in short runs whose order degrades as the
+	// basis changes: visit groups of 8 arcs in a permuted group order. The
+	// runs are too short for the stream prefetcher to train profitably,
+	// matching the paper's observation that on mcf the stream prefetcher
+	// has both low coverage and low accuracy.
+	const group = 8
+	nGroups := nArcs / group
+	for s := 0; s < sweeps; s++ {
+		for _, g := range bd.rng.Perm(nGroups) {
+			for j := 0; j < group; j++ {
+				a := arcs[g*group+j]
+				cost, cdep := b.Load(mcfPCArcCost, a, trace.NoDep, false)
+				b.Compute(20)    // reduced-cost computation
+				if cost%8 != 0 { // ~12.5% of arcs violate and are explored
+					continue
+				}
+				tail, tdep := b.Load(mcfPCArcTail, a+4, cdep, false)
+				// Walk the basis tree toward the root for a few levels.
+				node, ndep := tail, tdep
+				for d := 0; d < 4 && node != 0; d++ {
+					b.Load(mcfPCNodePot, node, ndep, true)
+					b.Compute(40) // potential update along the basis path
+					node, ndep = b.Load(mcfPCNodePred, node+4, ndep, true)
+				}
+			}
+		}
+	}
+	return b.Trace()
+}

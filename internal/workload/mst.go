@@ -1,0 +1,101 @@
+package workload
+
+import "ldsprefetch/internal/trace"
+
+// mst models the Olden mst benchmark's hash-table lookup behaviour, the
+// paper's running example (Figure 5): a hash table whose buckets hold linked
+// lists of nodes {key, data1*, data2*, next*}. HashLookup walks a chain
+// comparing keys; the next pointer of a visited node is almost always
+// followed (beneficial PG), while the data pointers are followed only at the
+// single matching node (harmful PGs). Original CDP prefetches every pointer
+// in every fetched block — including the data pointers of all nodes sharing
+// the block — producing the paper's 1.4% accuracy and its largest slowdown.
+func init() {
+	register(Generator{
+		Name:             "mst",
+		PointerIntensive: true,
+		Description:      "hash table of linked lists; chain walks with rare data dereference (paper Fig. 5)",
+		Build:            buildMST,
+	})
+}
+
+// Static load PCs of the mst proxy.
+const (
+	mstPCBucket  = 0x5_0100 // load of the bucket head pointer
+	mstPCKey     = 0x5_0104 // ent->Key compare load (the missing load)
+	mstPCNext    = 0x5_0108 // ent->Next chase
+	mstPCData    = 0x5_010c // ent->D1 at the matching node
+	mstPCPayload = 0x5_0110 // dereference of the data payload
+)
+
+func buildMST(p Params) *trace.Trace {
+	const (
+		nodeSize    = 16 // key, d1, d2, next
+		payloadSize = 16
+	)
+	nNodes := scaledData(150000, p)
+	nBuckets := scaledData(4096, p)
+	if nBuckets < 16 {
+		nBuckets = 16
+	}
+	lookups := scaled(30000, p)
+
+	bd := newBuild("mst", p, 16<<20, 8)
+
+	// Bucket array of head pointers, then nodes and payloads. Nodes are
+	// allocated in shuffled order so chain neighbours are not address
+	// neighbours (no stream-prefetchable pattern).
+	buckets := bd.alloc.Alloc(uint32(4 * nBuckets))
+	payloads := bd.seqAlloc(2*nNodes, payloadSize)
+	nodes := bd.shuffledAlloc(nNodes, nodeSize)
+
+	m := bd.b.Mem()
+	// Distribute nodes over buckets; chains are singly linked at next (+12).
+	chains := make([][]uint32, nBuckets)
+	for i, addr := range nodes {
+		bkt := bd.rng.Intn(nBuckets)
+		chains[bkt] = append(chains[bkt], addr)
+		m.Write32(addr, uint32(i)) // key
+		m.Write32(addr+4, payloads[2*i])
+		if bd.rng.Intn(4) == 0 { // d2 is an optional attribute, usually null
+			m.Write32(addr+8, payloads[2*i+1])
+		}
+	}
+	for b, chain := range chains {
+		head := uint32(0)
+		for i := len(chain) - 1; i >= 0; i-- {
+			m.Write32(chain[i]+12, head) // next
+			head = chain[i]
+		}
+		m.Write32(buckets+uint32(4*b), head)
+	}
+
+	// Lookup loop: pick a random bucket, walk to a random position in its
+	// chain (the "matching key"), touching key and next of every visited
+	// node, then dereference the match's data pointer.
+	b := bd.b
+	for it := 0; it < lookups; it++ {
+		bkt := bd.rng.Intn(nBuckets)
+		chain := chains[bkt]
+		if len(chain) == 0 {
+			continue
+		}
+		target := bd.rng.Intn(len(chain))
+
+		ent, dep := b.Load(mstPCBucket, buckets+uint32(4*bkt), trace.NoDep, false)
+		for pos := 0; ; pos++ {
+			_, _ = b.Load(mstPCKey, ent, dep, true) // ent->Key
+			b.Compute(60)                           // hash compare + bookkeeping per node
+			if pos == target {
+				d1, d1dep := b.Load(mstPCData, ent+4, dep, true)
+				b.Load(mstPCPayload, d1, d1dep, true)
+				break
+			}
+			ent, dep = b.Load(mstPCNext, ent+12, dep, true)
+			if ent == 0 {
+				break
+			}
+		}
+	}
+	return b.Trace()
+}

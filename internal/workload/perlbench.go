@@ -1,0 +1,88 @@
+package workload
+
+import "ldsprefetch/internal/trace"
+
+// perlbench models SPEC CPU2006 400.perlbench's interpreter behaviour:
+// symbol/hash lookups with short chains and a high match rate, followed by
+// dereference of the matched entry's string body. The bucket-array blocks
+// expose sixteen head pointers per block of which one is followed (harmful),
+// while chain-next and the matched value pointer are frequently followed
+// (beneficial) — giving the paper's moderate 28% CDP accuracy, a 16.3% gain
+// and the suite's largest bandwidth reduction (−56.3 BPKI).
+func init() {
+	register(Generator{
+		Name:             "perlbench",
+		PointerIntensive: true,
+		Description:      "interpreter hash lookups with string dereference (400.perlbench)",
+		Build:            buildPerlbench,
+	})
+}
+
+const (
+	perlPCBucket = 0x11_0100 // bucket head load
+	perlPCKey    = 0x11_0104 // entry key load (the missing load)
+	perlPCNext   = 0x11_0108 // chain next chase
+	perlPCVal    = 0x11_010c // matched entry's value pointer load
+	perlPCStr    = 0x11_0110 // string body loads
+	perlPCStrSt  = 0x11_0114 // string mutation store
+)
+
+// entry layout: key@0, val*@4, flags@8, next*@12 (16 bytes).
+// string body: 64 bytes.
+func buildPerlbench(p Params) *trace.Trace {
+	nEntries := scaledData(50000, p)
+	nBuckets := scaledData(16384, p)
+	if nBuckets < 16 {
+		nBuckets = 16
+	}
+	lookups := scaled(55000, p)
+
+	bd := newBuild("perlbench", p, 16<<20, 6)
+	buckets := bd.alloc.Alloc(uint32(4 * nBuckets))
+	strs := bd.shuffledAlloc(nEntries, 64)
+	entries := bd.shuffledAlloc(nEntries, 16)
+	m := bd.b.Mem()
+
+	chains := make([][]uint32, nBuckets)
+	for i, e := range entries {
+		bkt := bd.rng.Intn(nBuckets)
+		chains[bkt] = append(chains[bkt], e)
+		m.Write32(e, uint32(i))
+		m.Write32(e+4, strs[i])
+	}
+	for bkt, chain := range chains {
+		head := uint32(0)
+		for i := len(chain) - 1; i >= 0; i-- {
+			m.Write32(chain[i]+12, head)
+			head = chain[i]
+		}
+		m.Write32(buckets+uint32(4*bkt), head)
+	}
+
+	b := bd.b
+	for q := 0; q < lookups; q++ {
+		bkt := bd.rng.Intn(nBuckets)
+		chain := chains[bkt]
+		if len(chain) == 0 {
+			continue
+		}
+		target := bd.rng.Intn(len(chain))
+		ent, dep := b.Load(perlPCBucket, buckets+uint32(4*bkt), trace.NoDep, false)
+		for pos := 0; ent != 0; pos++ {
+			b.Load(perlPCKey, ent, dep, true)
+			b.Compute(50) // opcode dispatch between lookups
+			if pos == target {
+				// Match: dereference the value string and touch its body.
+				val, vdep := b.Load(perlPCVal, ent+4, dep, true)
+				b.Load(perlPCStr, val, vdep, true)
+				b.Load(perlPCStr, val+32, vdep, true)
+				if q%4 == 0 {
+					b.Store(perlPCStrSt, val+48, uint32(q), vdep)
+				}
+				break
+			}
+			ent, dep = b.Load(perlPCNext, ent+12, dep, true)
+		}
+	}
+	return b.Trace()
+}

@@ -1,0 +1,119 @@
+package workload
+
+import "ldsprefetch/internal/trace"
+
+// This file provides the non-pointer-intensive proxies used by Section 6.7
+// ("remaining SPEC and Olden benchmarks") and as the non-intensive halves of
+// the multi-core mixes of Section 6.6. Their misses are streaming and well
+// covered by the stream prefetcher; their blocks contain no pointer-looking
+// values, so CDP stays idle and the proposal should leave them unaffected.
+//
+// Real streaming code touches several words per block and executes tens of
+// instructions between block boundaries, so the demand side alone cannot
+// keep enough misses in flight to saturate the bus — it is latency-bound,
+// which is precisely what gives the stream prefetcher its large gains on
+// these applications.
+
+// streamSweep emits one pass over [base, base+words*4): four loads per
+// 64-byte block with compute between them.
+func streamSweep(b *trace.Builder, pc, base uint32, words int, store bool, stPC uint32) {
+	for i := 0; i < words; i += 16 {
+		for w := 0; w < 16; w += 4 {
+			b.Load(pc, base+uint32(4*(i+w)), trace.NoDep, false)
+		}
+		b.Compute(360)
+		if store {
+			b.Store(stPC, base+uint32(4*i), uint32(i), trace.NoDep)
+		}
+	}
+}
+
+func init() {
+	register(Generator{
+		Name:        "libquantum",
+		Description: "single sequential read-modify-write stream (462.libquantum)",
+		Build: func(p Params) *trace.Trace {
+			words := scaledData(700000, p) // 2.8 MB state vector
+			sweeps := scaled(5, p)
+			bd := newBuild("libquantum", p, 8<<20, 4)
+			base := bd.alloc.Alloc(uint32(4 * words))
+			for s := 0; s < sweeps; s++ {
+				streamSweep(bd.b, 0x20_0100, base, words, true, 0x20_0104)
+			}
+			return bd.b.Trace()
+		},
+	})
+	register(Generator{
+		Name:        "gemsfdtd",
+		Description: "three-array stencil sweeps (459.GemsFDTD)",
+		Build: func(p Params) *trace.Trace {
+			words := scaledData(300000, p) // 3 × 1.2 MB fields
+			sweeps := scaled(5, p)
+			bd := newBuild("gemsfdtd", p, 16<<20, 4)
+			a := bd.alloc.Alloc(uint32(4 * words))
+			bb := bd.alloc.Alloc(uint32(4 * words))
+			c := bd.alloc.Alloc(uint32(4 * words))
+			b := bd.b
+			for s := 0; s < sweeps; s++ {
+				for i := 0; i < words; i += 16 {
+					// Two input streams, four words each, one output store.
+					for w := 0; w < 16; w += 8 {
+						b.Load(0x21_0100, a+uint32(4*(i+w)), trace.NoDep, false)
+						b.Load(0x21_0104, bb+uint32(4*(i+w)), trace.NoDep, false)
+					}
+					b.Compute(480)
+					b.Store(0x21_0108, c+uint32(4*i), uint32(i), trace.NoDep)
+				}
+			}
+			return b.Trace()
+		},
+	})
+	register(Generator{
+		Name:        "h264ref",
+		Description: "blocked motion search: short row bursts over reference frames (464.h264ref)",
+		Build: func(p Params) *trace.Trace {
+			side := scaledData(1280, p) // frame side in 4-byte pixels
+			if side < 64 {
+				side = 64
+			}
+			blocks := scaled(9000, p)
+			bd := newBuild("h264ref", p, 16<<20, 3)
+			frame := bd.alloc.Alloc(uint32(4 * side * side))
+			b := bd.b
+			for k := 0; k < blocks; k++ {
+				// Search window: row bursts at a random origin.
+				ox, oy := bd.rng.Intn(side-64), bd.rng.Intn(side-8)
+				for row := 0; row < 8; row++ {
+					for col := 0; col < 64; col += 8 {
+						addr := frame + uint32(4*((oy+row)*side+ox+col))
+						b.Load(0x22_0100, addr, trace.NoDep, false)
+					}
+					b.Compute(160)
+				}
+			}
+			return b.Trace()
+		},
+	})
+	register(Generator{
+		Name:        "lbm",
+		Description: "lattice sweep with regular stride and heavy stores (470.lbm)",
+		Build: func(p Params) *trace.Trace {
+			cells := scaledData(200000, p) // 3.2 MB lattice (16 B cells)
+			sweeps := scaled(5, p)
+			bd := newBuild("lbm", p, 16<<20, 4)
+			lattice := bd.alloc.Alloc(uint32(16 * cells))
+			b := bd.b
+			for s := 0; s < sweeps; s++ {
+				for i := 0; i < cells; i++ {
+					addr := lattice + uint32(16*i)
+					b.Load(0x23_0100, addr, trace.NoDep, false)
+					b.Compute(110)
+					if i%2 == 0 {
+						b.Store(0x23_0104, addr+8, uint32(i), trace.NoDep)
+					}
+				}
+			}
+			return b.Trace()
+		},
+	})
+}

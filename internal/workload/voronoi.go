@@ -1,0 +1,83 @@
+package workload
+
+import "ldsprefetch/internal/trace"
+
+// voronoi models the Olden voronoi benchmark's dominant memory behaviour:
+// point-location descents through a tree of geometric elements mixed with
+// local walks over recently located regions. Descents follow one child per
+// node (about half the prefetched child pointers are wasted) while the local
+// walks follow everything, yielding the paper's intermediate CDP accuracy
+// (47%) — good enough that original CDP already helps a little.
+func init() {
+	register(Generator{
+		Name:             "voronoi",
+		PointerIntensive: true,
+		Description:      "BST point-location descents plus local region walks",
+		Build:            buildVoronoi,
+	})
+}
+
+const (
+	vorPCDescKey = 0x9_0100 // key load during point location
+	vorPCDescKid = 0x9_0104 // chosen child pointer
+	vorPCWalkKey = 0x9_0108 // key load during region walk
+	vorPCWalkKid = 0x9_010c // child loads during region walk
+)
+
+// node layout: key@0, left@4, right@8, site@12 (16 bytes).
+func buildVoronoi(p Params) *trace.Trace {
+	nNodes := scaledData(1<<18, p)
+	queries := scaled(20000, p)
+
+	bd := newBuild("voronoi", p, 8<<20, 4)
+	nodes := bd.shuffledAlloc(nNodes, 16)
+	m := bd.b.Mem()
+	for i, addr := range nodes {
+		m.Write32(addr, uint32(bd.rng.Intn(1<<24)))
+		if l := 2*i + 1; l < nNodes {
+			m.Write32(addr+4, nodes[l])
+		}
+		if r := 2*i + 2; r < nNodes {
+			m.Write32(addr+8, nodes[r])
+		}
+	}
+
+	b := bd.b
+	var walk func(addr uint32, dep int32, depth int)
+	walk = func(addr uint32, dep int32, depth int) {
+		if addr == 0 || depth == 0 {
+			return
+		}
+		b.Load(vorPCWalkKey, addr, dep, true)
+		b.Compute(30)
+		l, ldep := b.Load(vorPCWalkKid, addr+4, dep, true)
+		walk(l, ldep, depth-1)
+		r, rdep := b.Load(vorPCWalkKid, addr+8, dep, true)
+		walk(r, rdep, depth-1)
+	}
+
+	for q := 0; q < queries; q++ {
+		// Point-location descent: compare the query point's key against
+		// each node's key, so every query walks its own root-to-leaf path.
+		qkey := uint32(bd.rng.Intn(1 << 24))
+		addr := nodes[0]
+		dep := trace.NoDep
+		var last uint32
+		var lastDep int32
+		for addr != 0 {
+			v, _ := b.Load(vorPCDescKey, addr, dep, true)
+			b.Compute(30) // geometric orientation test
+			off := uint32(4)
+			if qkey >= v {
+				off = 8
+			}
+			last, lastDep = addr, dep
+			addr, dep = b.Load(vorPCDescKid, addr+off, dep, true)
+		}
+		// Walk the located region (both children followed).
+		if q%2 == 0 && last != 0 {
+			walk(last, lastDep, 4)
+		}
+	}
+	return b.Trace()
+}

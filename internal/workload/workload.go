@@ -1,0 +1,247 @@
+// Package workload provides synthetic proxy programs for the paper's
+// benchmark set: the 15 pointer-intensive applications of its main
+// evaluation (from SPEC CPU2006/2000, Olden, and pfast) plus
+// non-pointer-intensive streaming proxies for Section 6.7 and the multi-core
+// mixes.
+//
+// Each proxy builds real linked data structures in simulated memory —
+// pointer fields hold genuine 32-bit virtual addresses — and emits a
+// dependence-annotated trace. The proxies are designed to reproduce the
+// *structural* properties the paper's mechanisms react to, per benchmark:
+// which pointer groups are beneficial vs harmful, whether the access stream
+// is stream-prefetchable, how deep the pointer chains are, and how large the
+// working set is relative to the 1 MB L2. Absolute IPCs differ from the
+// paper's testbed; the shape of the results is the reproduction target.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ldsprefetch/internal/mem"
+	"ldsprefetch/internal/trace"
+)
+
+// Params selects the input set of a workload.
+type Params struct {
+	// Scale multiplies data-structure sizes and iteration counts.
+	// 1.0 is the reference input; the profiling ("train") input uses a
+	// smaller scale and different seed, as the paper profiles with the
+	// train input set (Section 5).
+	Scale float64
+	// Seed drives all randomized structure and access decisions.
+	Seed int64
+}
+
+// Ref returns the reference (measurement) input parameters.
+func Ref() Params { return Params{Scale: 1.0, Seed: 1} }
+
+// Train returns the profiling input parameters (smaller, different seed).
+// Data sizes scale sub-linearly (see scaledData), so the train input's
+// working set still exceeds the last-level cache — as real train inputs do —
+// which profiling needs to observe realistic eviction behaviour.
+func Train() Params { return Params{Scale: 0.5, Seed: 1009} }
+
+// Test returns a tiny input for unit tests.
+func Test() Params { return Params{Scale: 0.05, Seed: 7} }
+
+// Generator describes one benchmark proxy.
+type Generator struct {
+	// Name matches the paper's benchmark name.
+	Name string
+	// PointerIntensive marks the 15 benchmarks of the main evaluation.
+	PointerIntensive bool
+	// Description summarizes the modelled behaviour.
+	Description string
+	// Build generates the trace for the given input parameters.
+	Build func(p Params) *trace.Trace
+}
+
+var registry = map[string]Generator{}
+
+// paperOrder is the benchmark order of the paper's Tables 1 and 6, followed
+// by the non-pointer-intensive proxies.
+var paperOrder = []string{
+	"perlbench", "gcc", "mcf", "astar", "xalancbmk", "omnetpp", "parser",
+	"art", "ammp", "bisort", "health", "mst", "perimeter", "voronoi", "pfast",
+	"libquantum", "gemsfdtd", "h264ref", "lbm",
+}
+
+func register(g Generator) {
+	if _, dup := registry[g.Name]; dup {
+		panic("workload: duplicate benchmark " + g.Name)
+	}
+	registry[g.Name] = g
+}
+
+func ordered() []string {
+	out := make([]string, 0, len(registry))
+	for _, n := range paperOrder {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+		}
+	}
+	// Any extras registered outside the paper order come last, sorted.
+	var extras []int
+	_ = extras
+	var rest []string
+	for n := range registry {
+		found := false
+		for _, o := range paperOrder {
+			if n == o {
+				found = true
+				break
+			}
+		}
+		if !found {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// Get returns the generator for a benchmark name.
+func Get(name string) (Generator, error) {
+	g, ok := registry[name]
+	if !ok {
+		return Generator{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return g, nil
+}
+
+// Names returns all benchmark names in paper table order.
+func Names() []string { return ordered() }
+
+// PointerIntensiveNames returns the paper's 15 pointer-intensive benchmarks
+// in the order of paper Table 1/6.
+func PointerIntensiveNames() []string {
+	var out []string
+	for _, n := range ordered() {
+		if registry[n].PointerIntensive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NonPointerIntensiveNames returns the streaming/compute proxies.
+func NonPointerIntensiveNames() []string {
+	var out []string
+	for _, n := range ordered() {
+		if !registry[n].PointerIntensive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// build is the shared state of one workload construction.
+type build struct {
+	rng   *rand.Rand
+	b     *trace.Builder
+	alloc *mem.Allocator
+}
+
+func newBuild(name string, p Params, heapBytes uint32, computePad int) *build {
+	m := mem.New()
+	return &build{
+		rng:   rand.New(rand.NewSource(p.Seed)),
+		b:     trace.NewBuilder(name, m, computePad),
+		alloc: mem.NewAllocator(m, heapBytes, 4),
+	}
+}
+
+// scaled applies the input scale linearly with a floor of 1; use it for
+// iteration/work counts.
+func scaled(n int, p Params) int {
+	v := int(float64(n) * p.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// scaledData applies the square root of the input scale; use it for data-
+// structure dimensions. Sub-linear data scaling keeps smaller inputs' (e.g.
+// the train input's) working sets above the last-level-cache size, so cache
+// behaviour — and hence pointer-group profiling — stays representative.
+func scaledData(n int, p Params) int {
+	s := p.Scale
+	if s <= 0 {
+		s = 1
+	}
+	v := int(float64(n) * math.Sqrt(s))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// shuffledAlloc allocates n objects of the given size, returning their
+// addresses indexed by logical id, in an order that mimics a real heap:
+// short runs of logically consecutive objects stay address-consecutive
+// (allocators hand out mostly increasing addresses within a burst), but the
+// runs themselves land in random order. The short runs give the stream
+// prefetcher occasional false streams to chase — the source of the useless
+// stream prefetches the paper's throttling suppresses — while the global
+// shuffle keeps linked traversals unstreamable.
+func (bd *build) shuffledAlloc(n int, size uint32) []uint32 {
+	// Default run length targets ~4 cache blocks of consecutive objects:
+	// just enough for the stream prefetcher to train and overshoot (the
+	// useless stream prefetches the paper's throttling reclaims), not
+	// enough for it to genuinely cover linked traversals.
+	maxRun := int(4 * 64 / size)
+	if maxRun < 2 {
+		maxRun = 2
+	}
+	if maxRun > 16 {
+		maxRun = 16
+	}
+	return bd.shuffledAllocRuns(n, size, maxRun)
+}
+
+// shuffledAllocRuns is shuffledAlloc with an explicit maximum run length;
+// short runs defeat the stream prefetcher (it cannot confirm a direction and
+// profit before the run ends) while still giving cache blocks same-structure
+// neighbours.
+func (bd *build) shuffledAllocRuns(n int, size uint32, maxRun int) []uint32 {
+	addrs := make([]uint32, n)
+	tmp := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = bd.alloc.Alloc(size)
+	}
+	// Split logical ids into runs of 1..maxRun objects, then place the
+	// runs in permuted order.
+	type run struct{ start, len int }
+	var runs []run
+	for i := 0; i < n; {
+		l := 1 + bd.rng.Intn(maxRun)
+		if i+l > n {
+			l = n - i
+		}
+		runs = append(runs, run{i, l})
+		i += l
+	}
+	slot := 0
+	for _, ri := range bd.rng.Perm(len(runs)) {
+		r := runs[ri]
+		for k := 0; k < r.len; k++ {
+			addrs[r.start+k] = tmp[slot]
+			slot++
+		}
+	}
+	return addrs
+}
+
+// seqAlloc allocates n objects consecutively (allocation order == logical
+// order), the layout the paper's Figure 3 relies on.
+func (bd *build) seqAlloc(n int, size uint32) []uint32 {
+	addrs := make([]uint32, n)
+	for i := range addrs {
+		addrs[i] = bd.alloc.Alloc(size)
+	}
+	return addrs
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	pi := PointerIntensiveNames()
+	if len(pi) != 15 {
+		t.Fatalf("pointer-intensive benchmarks = %d, want the paper's 15: %v", len(pi), pi)
+	}
+	want := []string{
+		"perlbench", "gcc", "mcf", "astar", "xalancbmk", "omnetpp", "parser",
+		"art", "ammp", "bisort", "health", "mst", "perimeter", "voronoi", "pfast",
+	}
+	for i, n := range want {
+		if pi[i] != n {
+			t.Fatalf("order[%d] = %q, want %q (paper Table 1 order)", i, pi[i], n)
+		}
+	}
+	if got := len(NonPointerIntensiveNames()); got != 4 {
+		t.Fatalf("non-pointer-intensive = %d, want 4", got)
+	}
+	if len(Names()) != 19 {
+		t.Fatalf("total benchmarks = %d, want 19", len(Names()))
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nosuch"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+// TestAllTracesValid builds every benchmark at test scale and validates
+// structural invariants plus basic composition expectations.
+func TestAllTracesValid(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := g.Build(Test())
+			if err := trace.Validate(tr); err != nil {
+				t.Fatal(err)
+			}
+			s := trace.Summarize(tr)
+			if s.Ops < 1000 {
+				t.Fatalf("only %d ops at test scale; generator broken?", s.Ops)
+			}
+			if s.Loads == 0 {
+				t.Fatal("no loads")
+			}
+			if g.PointerIntensive && s.LDSLoads == 0 {
+				t.Fatal("pointer-intensive benchmark emitted no LDS loads")
+			}
+			if !g.PointerIntensive && s.LDSLoads > s.Loads/10 {
+				t.Fatalf("streaming benchmark has %d/%d LDS loads", s.LDSLoads, s.Loads)
+			}
+		})
+	}
+}
+
+// TestDeterministic verifies a benchmark builds identically for identical
+// params (required for reproducible experiments).
+func TestDeterministic(t *testing.T) {
+	g, _ := Get("mst")
+	a := g.Build(Test())
+	b := g.Build(Test())
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+}
+
+// TestTrainDiffersFromRef verifies the profiling input is a genuinely
+// different run (the paper's Section 6.1.6 sensitivity study needs this).
+func TestTrainDiffersFromRef(t *testing.T) {
+	g, _ := Get("mst")
+	ref := g.Build(Params{Scale: 0.1, Seed: Ref().Seed})
+	train := g.Build(Params{Scale: 0.1, Seed: Train().Seed})
+	same := len(ref.Ops) == len(train.Ops)
+	if same {
+		for i := range ref.Ops {
+			if ref.Ops[i] != train.Ops[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("train and ref inputs produced identical traces")
+	}
+}
+
+// TestPointerFieldsAreHeapAddresses spot-checks that LDS loads dereference
+// real heap pointers (the property CDP's compare-bits matcher relies on).
+func TestPointerFieldsAreHeapAddresses(t *testing.T) {
+	g, _ := Get("health")
+	tr := g.Build(Test())
+	checked := 0
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Kind == trace.Load && op.LDS && op.Addr != 0 {
+			if op.Addr>>24 != 0x10 {
+				t.Fatalf("LDS load %d at %#x outside the heap region", i, op.Addr)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no LDS loads checked")
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+import "ldsprefetch/internal/trace"
+
+// xalancbmk models SPEC CPU2006 483.xalancbmk's DOM processing: depth-first
+// walks of a document tree whose nodes are dense with pointers (name, value,
+// parent, attributes, first-child, next-sibling), of which the traversal
+// follows only first-child and next-sibling. Scanned blocks therefore
+// expose many never-followed string/attribute pointers — the paper measures
+// 0.9% CDP accuracy, the lowest of the suite — while the two traversal
+// pointers are exactly the beneficial PGs ECDP preserves (+18.9% in the
+// paper).
+func init() {
+	register(Generator{
+		Name:             "xalancbmk",
+		PointerIntensive: true,
+		Description:      "DOM tree DFS via firstChild/nextSibling among many payload pointers",
+		Build:            buildXalancbmk,
+	})
+}
+
+const (
+	xalanPCType  = 0xc_0100 // node type load (the missing load)
+	xalanPCChild = 0xc_0104 // firstChild chase
+	xalanPCSib   = 0xc_0108 // nextSibling chase
+	xalanPCName  = 0xc_010c // rare name-string dereference
+)
+
+// DOM node layout: type@0, name*@4, value*@8, parent*@12, firstChild*@16,
+// nextSibling*@20, attrs*@24, pad (32 bytes).
+func buildXalancbmk(p Params) *trace.Trace {
+	nNodes := scaledData(100000, p)
+	nStrings := nNodes // one name+value pool entry per node
+	walks := scaled(5, p)
+
+	bd := newBuild("xalancbmk", p, 16<<20, 6)
+	strs := bd.seqAlloc(2*nStrings, 16)
+	nodes := bd.shuffledAlloc(nNodes, 32)
+	m := bd.b.Mem()
+
+	// Build a random document tree: each node's children form a sibling
+	// list. Fanout is geometric-ish (documents are wide and shallow).
+	var lastChild = make([]uint32, nNodes)
+	for i := 1; i < nNodes; i++ {
+		parent := bd.rng.Intn(i)
+		if i > 16 && bd.rng.Intn(3) != 0 {
+			parent = i - 1 - bd.rng.Intn(16) // locally clustered structure
+		}
+		n := nodes[i]
+		pa := nodes[parent]
+		if lastChild[parent] == 0 {
+			m.Write32(pa+16, n) // firstChild
+		} else {
+			m.Write32(lastChild[parent]+20, n) // previous sibling's next
+		}
+		lastChild[parent] = n
+		m.Write32(n+12, pa) // parent
+	}
+	for i, n := range nodes {
+		m.Write32(n, uint32(bd.rng.Intn(12))) // element type
+		m.Write32(n+4, strs[2*i])             // name
+		if bd.rng.Intn(3) != 0 {              // text value when present
+			m.Write32(n+8, strs[2*i+1])
+		}
+		if bd.rng.Intn(4) == 0 { // most elements have no attributes
+			m.Write32(n+24, strs[bd.rng.Intn(2*nStrings)])
+		}
+	}
+
+	b := bd.b
+	// Iterative DFS via firstChild / nextSibling, exactly as DOM walkers
+	// do; an explicit stack holds (addr, dep) so sibling chases depend on
+	// the load that produced the node pointer.
+	type frame struct {
+		addr uint32
+		dep  int32
+	}
+	for w := 0; w < walks; w++ {
+		stack := []frame{{nodes[0], trace.NoDep}}
+		visited := 0
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if f.addr == 0 {
+				continue
+			}
+			visited++
+			ty, _ := b.Load(xalanPCType, f.addr, f.dep, true)
+			b.Compute(60)   // per-element formatting work
+			if ty%16 == 0 { // rare semantic action dereferences the name
+				name, ndep := b.Load(xalanPCName, f.addr+4, f.dep, true)
+				b.Load(xalanPCName, name, ndep, true)
+			}
+			sib, sdep := b.Load(xalanPCSib, f.addr+20, f.dep, true)
+			if sib != 0 {
+				stack = append(stack, frame{sib, sdep})
+			}
+			child, cdep := b.Load(xalanPCChild, f.addr+16, f.dep, true)
+			if child != 0 {
+				stack = append(stack, frame{child, cdep})
+			}
+		}
+	}
+	return b.Trace()
+}

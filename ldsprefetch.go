@@ -1,0 +1,116 @@
+// Package ldsprefetch reproduces "Techniques for Bandwidth-Efficient
+// Prefetching of Linked Data Structures in Hybrid Prefetching Systems"
+// (Ebrahimi, Mutlu, Patt — HPCA 2009) as a self-contained Go library: an
+// execution-driven memory-hierarchy simulator, the paper's two contributions
+// (compiler-guided content-directed prefetch filtering and coordinated
+// prefetcher throttling), every baseline it compares against, synthetic
+// proxies for its benchmark suite, and harnesses regenerating every table
+// and figure of its evaluation.
+//
+// This file is the public façade: it re-exports the types a library user
+// needs for the common flows. The full machinery lives in internal/ —
+// internal/core holds the paper's contribution, internal/exp the experiment
+// definitions; see DESIGN.md for the complete map.
+//
+// # Quick start
+//
+//	hints := ldsprefetch.ProfileHints("mst", ldsprefetch.TrainInput())
+//	res, _ := ldsprefetch.Run("mst", ldsprefetch.RefInput(), ldsprefetch.Proposal(hints))
+//	fmt.Printf("IPC %.3f, BPKI %.1f\n", res.IPC, res.BPKI)
+package ldsprefetch
+
+import (
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/exp"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/profiling"
+	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/workload"
+)
+
+// Input selects a workload input set (size scale and seed).
+type Input = workload.Params
+
+// RefInput returns the reference (measurement) input.
+func RefInput() Input { return workload.Ref() }
+
+// TrainInput returns the profiling input (smaller scale, different seed).
+func TrainInput() Input { return workload.Train() }
+
+// Setup selects the system's prefetching configuration; see sim.Setup for
+// all knobs.
+type Setup = sim.Setup
+
+// Result carries a single-core run's metrics (IPC, BPKI, per-prefetcher
+// accuracy and coverage, memory-system statistics).
+type Result = sim.Result
+
+// MultiResult carries a multi-core run's metrics (weighted and harmonic
+// speedups, bus traffic).
+type MultiResult = sim.MultiResult
+
+// HintTable is the compiler-provided per-load hint bit-vector table
+// consumed by ECDP.
+type HintTable = core.HintTable
+
+// Baseline returns the paper's baseline: an aggressive stream prefetcher.
+func Baseline() Setup { return sim.Baseline() }
+
+// OriginalCDP returns the stream + original content-directed prefetcher
+// configuration that motivates the paper (Figure 2).
+func OriginalCDP() Setup {
+	return Setup{Name: "stream+cdp", Stream: true, CDP: true}
+}
+
+// Proposal returns the paper's full proposal: stream + ECDP with the given
+// hints, under coordinated prefetcher throttling.
+func Proposal(hints *HintTable) Setup {
+	return Setup{Name: "stream+ecdp+thr", Stream: true, CDP: true,
+		Hints: hints, Throttle: true}
+}
+
+// Benchmarks lists all available benchmark proxies in paper order.
+func Benchmarks() []string { return workload.Names() }
+
+// PointerIntensiveBenchmarks lists the paper's 15-benchmark main suite.
+func PointerIntensiveBenchmarks() []string { return workload.PointerIntensiveNames() }
+
+// Run simulates one benchmark on a single-core system.
+func Run(bench string, in Input, s Setup) (Result, error) {
+	return sim.RunSingle(bench, in, s)
+}
+
+// RunMulti simulates one benchmark per core on a shared memory system.
+func RunMulti(benches []string, in Input, s Setup) (MultiResult, error) {
+	return sim.RunMulti(benches, in, s)
+}
+
+// ProfileHints runs the paper's compiler profiling pass for bench on the
+// given input and returns the beneficial-PG hint table.
+func ProfileHints(bench string, in Input) *HintTable {
+	g, err := workload.Get(bench)
+	if err != nil {
+		return core.NewHintTable()
+	}
+	prof := profiling.Collect(g.Build(in), memsys.DefaultConfig(), cpu.DefaultConfig())
+	return prof.Hints(0)
+}
+
+// Experiment reproduces one of the paper's tables/figures by id (e.g.
+// "fig7"; "all" for the complete evaluation) and returns the rendered
+// reports. See DESIGN.md for the experiment index.
+func Experiment(id string, in Input) ([]string, error) {
+	ctx := exp.NewContext()
+	ctx.Params = in
+	ctx.TrainParams = Input{Scale: in.Scale * workload.Train().Scale, Seed: workload.Train().Seed}
+	reports, err := exp.Run(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(reports))
+	for i, r := range reports {
+		out[i] = r.String()
+	}
+	return out, nil
+}

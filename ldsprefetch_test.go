@@ -1,0 +1,148 @@
+package ldsprefetch
+
+import (
+	"strings"
+	"testing"
+
+	"ldsprefetch/internal/prefetch"
+)
+
+// Integration tests asserting the paper's qualitative shapes end-to-end
+// through the public API. They run at a reduced scale; the full-scale
+// numbers live in EXPERIMENTS.md.
+
+func testInput() Input  { return Input{Scale: 0.25, Seed: 1} }
+func trainInput() Input { return Input{Scale: 0.18, Seed: 1009} }
+
+func TestShapeOriginalCDPHurtsMST(t *testing.T) {
+	// Paper Figure 2: adding unfiltered CDP to the stream baseline
+	// degrades mst badly and inflates its bandwidth.
+	base, err := Run("mst", testInput(), Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdp, _ := Run("mst", testInput(), OriginalCDP())
+	if cdp.IPC >= base.IPC {
+		t.Fatalf("CDP on mst: IPC %.4f >= baseline %.4f; the pathology is gone", cdp.IPC, base.IPC)
+	}
+	if cdp.BPKI <= base.BPKI*1.5 {
+		t.Fatalf("CDP on mst: BPKI %.1f vs %.1f; bandwidth explosion missing", cdp.BPKI, base.BPKI)
+	}
+	if cdp.Accuracy[prefetch.SrcCDP] > 0.25 {
+		t.Fatalf("CDP accuracy on mst = %.3f, expected very low", cdp.Accuracy[prefetch.SrcCDP])
+	}
+}
+
+func TestShapeECDPRepairsCDP(t *testing.T) {
+	// Paper Figure 7: compiler hints recover most of CDP's losses and cut
+	// its useless traffic.
+	hints := ProfileHints("mst", trainInput())
+	cdp, _ := Run("mst", testInput(), OriginalCDP())
+	ecdp, _ := Run("mst", testInput(), Setup{Stream: true, CDP: true, Hints: hints})
+	if ecdp.IPC <= cdp.IPC {
+		t.Fatalf("ECDP %.4f <= CDP %.4f on mst", ecdp.IPC, cdp.IPC)
+	}
+	if ecdp.BPKI >= cdp.BPKI {
+		t.Fatalf("ECDP BPKI %.1f >= CDP %.1f on mst", ecdp.BPKI, cdp.BPKI)
+	}
+	if ecdp.Accuracy[prefetch.SrcCDP] <= cdp.Accuracy[prefetch.SrcCDP]*1.5 {
+		t.Fatalf("ECDP accuracy %.3f vs CDP %.3f: hints must raise accuracy sharply",
+			ecdp.Accuracy[prefetch.SrcCDP], cdp.Accuracy[prefetch.SrcCDP])
+	}
+}
+
+func TestShapeProposalHelpsLDSBenchmarks(t *testing.T) {
+	// The proposal must beat the stream baseline on CDP-friendly LDS
+	// benchmarks (paper: health, ammp, perimeter among the winners).
+	for _, bench := range []string{"health", "ammp", "perimeter"} {
+		hints := ProfileHints(bench, trainInput())
+		base, _ := Run(bench, testInput(), Baseline())
+		ours, _ := Run(bench, testInput(), Proposal(hints))
+		if ours.IPC <= base.IPC {
+			t.Errorf("%s: proposal %.4f <= baseline %.4f", bench, ours.IPC, base.IPC)
+		}
+	}
+}
+
+func TestShapeStreamingUnaffected(t *testing.T) {
+	// Paper Section 6.7: the proposal leaves non-pointer benchmarks alone.
+	for _, bench := range []string{"libquantum", "gemsfdtd"} {
+		hints := ProfileHints(bench, trainInput())
+		base, _ := Run(bench, testInput(), Baseline())
+		ours, _ := Run(bench, testInput(), Proposal(hints))
+		if rel := ours.IPC / base.IPC; rel < 0.98 || rel > 1.02 {
+			t.Errorf("%s: proposal changes IPC by %+.1f%%, want ~0", bench, (rel-1)*100)
+		}
+	}
+}
+
+func TestShapeStreamPrefetcherWorks(t *testing.T) {
+	// Paper Figure 1: the stream prefetcher strongly helps streaming code.
+	nopf, _ := Run("libquantum", testInput(), Setup{Name: "none"})
+	base, _ := Run("libquantum", testInput(), Baseline())
+	if base.IPC < nopf.IPC*1.5 {
+		t.Fatalf("stream gives only %.2fx on libquantum", base.IPC/nopf.IPC)
+	}
+	if base.Coverage[prefetch.SrcStream] < 0.8 {
+		t.Fatalf("stream coverage %.3f on libquantum, want near-total",
+			base.Coverage[prefetch.SrcStream])
+	}
+}
+
+func TestShapeIdealLDSHeadroom(t *testing.T) {
+	// Pointer-intensive benchmarks must have large ideal-LDS headroom
+	// (the motivation of the whole paper).
+	base, _ := Run("health", testInput(), Baseline())
+	ideal, _ := Run("health", testInput(), Setup{Stream: true, IdealLDS: true})
+	if ideal.IPC < base.IPC*1.5 {
+		t.Fatalf("ideal LDS headroom on health only %.2fx", ideal.IPC/base.IPC)
+	}
+}
+
+func TestShapeMultiCoreGains(t *testing.T) {
+	// Paper Section 6.6: the proposal improves weighted speedup on a
+	// pointer-intensive dual-core mix.
+	mix := []string{"health", "ammp"}
+	hints := ProfileHints(mix[0], trainInput())
+	h2 := ProfileHints(mix[1], trainInput())
+	for _, pc := range h2.PCs() {
+		v, _ := h2.Lookup(pc)
+		hints.Set(pc, v)
+	}
+	base, err := RunMulti(mix, testInput(), Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, _ := RunMulti(mix, testInput(), Proposal(hints))
+	if ours.WeightedSpeedup <= base.WeightedSpeedup {
+		t.Fatalf("proposal WS %.3f <= baseline %.3f", ours.WeightedSpeedup, base.WeightedSpeedup)
+	}
+}
+
+func TestPublicAPI(t *testing.T) {
+	if len(Benchmarks()) != 19 {
+		t.Fatalf("benchmarks = %d", len(Benchmarks()))
+	}
+	if len(PointerIntensiveBenchmarks()) != 15 {
+		t.Fatalf("pointer-intensive = %d", len(PointerIntensiveBenchmarks()))
+	}
+	if _, err := Run("nosuch", testInput(), Baseline()); err == nil {
+		t.Fatal("expected error")
+	}
+	if h := ProfileHints("nosuch", testInput()); h.Len() != 0 {
+		t.Fatal("unknown benchmark must yield empty hints")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	out, err := Experiment("table7", testInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !strings.Contains(out[0], "17296") {
+		t.Fatalf("table7 output wrong: %v", out)
+	}
+	if _, err := Experiment("nosuch", testInput()); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
