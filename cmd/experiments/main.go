@@ -6,17 +6,33 @@
 //	experiments -exp all             # the full evaluation
 //	experiments -list                # available experiment ids
 //	experiments -exp fig7 -scale 0.5 # smaller inputs (faster, noisier)
+//
+// Persisting runs:
+//
+//	experiments -exp fig7 -out results/fig7        # rendered reports + manifest
+//	experiments -exp fig7 -trace results/fig7-trc  # per-run JSONL telemetry + manifest
+//
+// -trace enables interval-level telemetry on every simulation and writes one
+// pair of <bench>__<setup>.{intervals,events}.jsonl files per run, plus a
+// manifest.json recording scale/seed/parallelism, the go toolchain, and the
+// git revision. The schemas are documented in OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"ldsprefetch/internal/exp"
 	"ldsprefetch/internal/workload"
 )
+
+func fatal(v ...interface{}) {
+	fmt.Fprintln(os.Stderr, v...)
+	os.Exit(2)
+}
 
 func main() {
 	id := flag.String("exp", "", "experiment id (see -list), or \"all\"")
@@ -25,6 +41,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations")
 	format := flag.String("format", "text", "output format: text, json, or csv")
+	traceDir := flag.String("trace", "", "directory for per-run interval/event JSONL traces (+ manifest)")
+	outDir := flag.String("out", "", "directory to persist rendered reports (+ manifest)")
 	flag.Parse()
 
 	if *list {
@@ -34,25 +52,46 @@ func main() {
 		return
 	}
 	if *id == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -exp <id> required (use -list to see ids)")
-		os.Exit(2)
+		fatal("experiments: -exp <id> required (use -list to see ids)")
 	}
 	ctx := exp.NewContext()
 	ctx.Params = workload.Params{Scale: *scale, Seed: *seed}
 	ctx.TrainParams = workload.Params{Scale: *scale * workload.Train().Scale, Seed: workload.Train().Seed}
 	ctx.Parallel = *par
+	ctx.TraceDir = *traceDir
 
 	reports, err := exp.Run(ctx, *id)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
+	ext := map[string]string{"": "txt", "text": "txt", "json": "json", "csv": "csv"}[*format]
 	for _, r := range reports {
 		out, err := r.Render(*format)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		fmt.Println(out)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			name := filepath.Join(*outDir, r.ID+"."+ext)
+			if err := os.WriteFile(name, []byte(out+"\n"), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	manifest := exp.NewManifest(*id, *scale, *seed, *par)
+	for _, dir := range []string{*traceDir, *outDir} {
+		if dir == "" {
+			continue
+		}
+		if err := manifest.Write(dir); err != nil {
+			fatal(err)
+		}
+	}
+	if err := ctx.TraceErr(); err != nil {
+		fatal("experiments: writing traces:", err)
 	}
 }

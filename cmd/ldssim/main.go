@@ -6,20 +6,29 @@
 //	ldssim -bench mst -config ecdp+throttle
 //	ldssim -bench health -config stream -scale 0.5
 //	ldssim -bench xalancbmk,astar -config ecdp+throttle   # dual-core
+//	ldssim -bench mst -trace /tmp/t                       # + JSONL telemetry
 //	ldssim -list
 //
 // Configurations: none, stream, cdp, cdp+throttle, ecdp, ecdp+throttle,
 // markov, ghb, dbp, ideal.
+//
+// -trace <dir> enables interval-level telemetry and persists the run's
+// interval-series and throttle-event JSONL files (schemas: OBSERVABILITY.md)
+// plus a reproducibility manifest; -out <dir> persists the printed summary
+// and a manifest.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ldsprefetch/internal/core"
 	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/exp"
 	"ldsprefetch/internal/memsys"
 	"ldsprefetch/internal/prefetch"
 	"ldsprefetch/internal/profiling"
@@ -43,6 +52,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "input scale")
 	seed := flag.Int64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	traceDir := flag.String("trace", "", "directory for interval/event JSONL traces (+ manifest)")
+	outDir := flag.String("out", "", "directory to persist the run summary (+ manifest)")
 	flag.Parse()
 
 	if *list {
@@ -101,6 +112,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ldssim: unknown config %q\n", *config)
 		os.Exit(2)
 	}
+	setup.Trace = *traceDir != ""
+
+	// The summary goes to stdout and, with -out, to <out>/run.txt too.
+	var sb strings.Builder
+	w := io.Writer(os.Stdout)
+	if *outDir != "" {
+		w = io.MultiWriter(os.Stdout, &sb)
+	}
 
 	if len(benches) > 1 {
 		mr, err := sim.RunMulti(benches, p, setup)
@@ -108,15 +127,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		fmt.Printf("mix              %s\n", *bench)
-		fmt.Printf("config           %s\n", setup.Name)
-		fmt.Printf("weighted speedup %.4f\n", mr.WeightedSpeedup)
-		fmt.Printf("hmean speedup    %.4f\n", mr.HmeanSpeedup)
-		fmt.Printf("bus transfers    %d (%.2f per kilo-instruction)\n", mr.BusTransfers, mr.BusPKI)
+		fmt.Fprintf(w, "mix              %s\n", *bench)
+		fmt.Fprintf(w, "config           %s\n", setup.Name)
+		fmt.Fprintf(w, "weighted speedup %.4f\n", mr.WeightedSpeedup)
+		fmt.Fprintf(w, "hmean speedup    %.4f\n", mr.HmeanSpeedup)
+		fmt.Fprintf(w, "bus transfers    %d (%.2f per kilo-instruction)\n", mr.BusTransfers, mr.BusPKI)
 		for i, pc := range mr.PerCore {
-			fmt.Printf("core %d (%s): IPC %.4f shared, %.4f alone\n",
+			fmt.Fprintf(w, "core %d (%s): IPC %.4f shared, %.4f alone\n",
 				i, pc.Benchmark, pc.IPC, mr.AloneIPC[i])
 		}
+		if *traceDir != "" {
+			for i, pc := range mr.PerCore {
+				if pc.Trace == nil {
+					continue
+				}
+				base := fmt.Sprintf("core%d-%s", i, exp.TraceBase(pc.Trace))
+				if err := exp.WriteTraceAs(*traceDir, base, pc.Trace); err != nil {
+					fmt.Fprintln(os.Stderr, "ldssim: writing traces:", err)
+					os.Exit(2)
+				}
+			}
+		}
+		persist(*traceDir, *outDir, *config, benches, *scale, *seed, sb.String())
 		return
 	}
 
@@ -125,18 +157,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("benchmark      %s\n", r.Benchmark)
-	fmt.Printf("config         %s\n", setup.Name)
-	fmt.Printf("instructions   %d\n", r.Retired)
-	fmt.Printf("cycles         %d\n", r.Cycles)
-	fmt.Printf("IPC            %.4f\n", r.IPC)
-	fmt.Printf("BPKI           %.2f\n", r.BPKI)
-	fmt.Printf("L2 demand miss %d\n", r.DemandMisses)
+	fmt.Fprintf(w, "benchmark      %s\n", r.Benchmark)
+	fmt.Fprintf(w, "config         %s\n", setup.Name)
+	fmt.Fprintf(w, "instructions   %d\n", r.Retired)
+	fmt.Fprintf(w, "cycles         %d\n", r.Cycles)
+	fmt.Fprintf(w, "IPC            %.4f\n", r.IPC)
+	fmt.Fprintf(w, "BPKI           %.2f\n", r.BPKI)
+	fmt.Fprintf(w, "L2 demand miss %d\n", r.DemandMisses)
 	for src := prefetch.SrcStream; src < prefetch.NumSources; src++ {
 		if r.Issued[src] == 0 {
 			continue
 		}
-		fmt.Printf("%-8s issued %d, used %d (accuracy %.3f, coverage %.3f)\n",
+		fmt.Fprintf(w, "%-8s issued %d, used %d (accuracy %.3f, coverage %.3f)\n",
 			src, r.Issued[src], r.Used[src], r.Accuracy[src], r.Coverage[src])
+	}
+	if *traceDir != "" && r.Trace != nil {
+		if err := exp.WriteTrace(*traceDir, r.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "ldssim: writing traces:", err)
+			os.Exit(2)
+		}
+	}
+	persist(*traceDir, *outDir, *config, benches, *scale, *seed, sb.String())
+}
+
+// persist writes the reproducibility manifest into each requested directory
+// and the captured summary into <out>/run.txt.
+func persist(traceDir, outDir, config string, benches []string, scale float64, seed int64, summary string) {
+	m := exp.NewManifest("ldssim/"+config, scale, seed, 0)
+	m.Benchmarks = benches
+	for _, dir := range []string{traceDir, outDir} {
+		if dir == "" {
+			continue
+		}
+		if err := m.Write(dir); err != nil {
+			fmt.Fprintln(os.Stderr, "ldssim: writing manifest:", err)
+			os.Exit(2)
+		}
+	}
+	if outDir != "" {
+		if err := os.WriteFile(filepath.Join(outDir, "run.txt"), []byte(summary), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ldssim: writing summary:", err)
+			os.Exit(2)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/telemetry"
 )
 
 // Thresholds are the coordinated-throttling thresholds of paper Table 4.
@@ -51,21 +52,28 @@ func (d Decision) String() string {
 //	4     Low           Low or Medium   High            Throttle Down
 //	5     Low           High            High            Do Nothing
 func Decide(th Thresholds, ownCov, ownAcc, rivalCov float64) Decision {
+	d, _ := DecideCase(th, ownCov, ownAcc, rivalCov)
+	return d
+}
+
+// DecideCase is Decide exposing which row of Table 3 fired (1-5), for
+// telemetry and analysis.
+func DecideCase(th Thresholds, ownCov, ownAcc, rivalCov float64) (Decision, int) {
 	if ownCov >= th.TCoverage {
-		return ThrottleUp // case 1
+		return ThrottleUp, 1
 	}
 	accLow := ownAcc < th.ALow
 	accHigh := ownAcc >= th.AHigh
 	rivalHigh := rivalCov >= th.TCoverage
 	switch {
 	case accLow:
-		return ThrottleDown // case 2
+		return ThrottleDown, 2
 	case !rivalHigh:
-		return ThrottleUp // case 3 (accuracy medium or high)
+		return ThrottleUp, 3 // accuracy medium or high
 	case !accHigh:
-		return ThrottleDown // case 4 (accuracy medium, rival high)
+		return ThrottleDown, 4 // accuracy medium, rival high
 	default:
-		return DoNothing // case 5 (accuracy high, rival high)
+		return DoNothing, 5 // accuracy high, rival high
 	}
 }
 
@@ -89,6 +97,10 @@ type Throttler struct {
 
 	// Decisions counts outcomes for reporting: [DoNothing, Up, Down].
 	Decisions [3]int64
+
+	// Trace, if non-nil, receives one ThrottleEvent per decision — the
+	// heuristic case that fired, its inputs, and the level transition.
+	Trace *telemetry.Trace
 }
 
 // NewThrottler builds a throttler over fb with thresholds th.
@@ -112,10 +124,17 @@ func (t *Throttler) Install() {
 	}
 }
 
+// roundDecision is one prefetcher's outcome within a decision round.
+type roundDecision struct {
+	d                        Decision
+	tableCase                int
+	ownCov, ownAcc, rivalCov float64
+}
+
 // Round performs one coordinated decision round: all decisions are computed
 // from the same interval snapshot, then applied simultaneously.
 func (t *Throttler) Round() {
-	decisions := make([]Decision, len(t.pfs))
+	decisions := make([]roundDecision, len(t.pfs))
 	for i, p := range t.pfs {
 		ownCov := t.fb.Coverage(p.src)
 		ownAcc := t.fb.Accuracy(p.src)
@@ -128,16 +147,31 @@ func (t *Throttler) Round() {
 				rivalCov = c
 			}
 		}
-		decisions[i] = Decide(t.th, ownCov, ownAcc, rivalCov)
+		d, tc := DecideCase(t.th, ownCov, ownAcc, rivalCov)
+		decisions[i] = roundDecision{d, tc, ownCov, ownAcc, rivalCov}
 	}
-	for i, d := range decisions {
-		t.Decisions[d]++
+	for i, rd := range decisions {
+		t.Decisions[rd.d]++
 		p := t.pfs[i].t
-		switch d {
+		old := p.Level()
+		switch rd.d {
 		case ThrottleUp:
-			p.SetLevel(p.Level() + 1)
+			p.SetLevel(old + 1)
 		case ThrottleDown:
-			p.SetLevel(p.Level() - 1)
+			p.SetLevel(old - 1)
+		}
+		if t.Trace != nil {
+			t.Trace.Events = append(t.Trace.Events, telemetry.ThrottleEvent{
+				Interval: t.fb.Intervals() - 1,
+				Src:      t.pfs[i].src,
+				Case:     rd.tableCase,
+				OwnCov:   rd.ownCov,
+				OwnAcc:   rd.ownAcc,
+				RivalCov: rd.rivalCov,
+				Decision: rd.d.String(),
+				OldLevel: old,
+				NewLevel: p.Level(),
+			})
 		}
 	}
 }

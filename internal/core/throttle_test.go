@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/telemetry"
 )
 
 func TestDecideTable3(t *testing.T) {
@@ -133,6 +134,72 @@ func TestInstallChainsExistingHook(t *testing.T) {
 	fb.Eviction()
 	if !called {
 		t.Fatal("pre-existing OnInterval hook must still run")
+	}
+}
+
+func TestDecideCaseTable3(t *testing.T) {
+	th := DefaultThresholds()
+	cases := []struct {
+		name                     string
+		ownCov, ownAcc, rivalCov float64
+		want                     Decision
+		wantCase                 int
+	}{
+		{"case1 high coverage", 0.5, 0.1, 0.9, ThrottleUp, 1},
+		{"case2 low acc", 0.1, 0.2, 0.9, ThrottleDown, 2},
+		{"case3 medium acc rival low", 0.1, 0.5, 0.1, ThrottleUp, 3},
+		{"case3 high acc rival low", 0.1, 0.9, 0.1, ThrottleUp, 3},
+		{"case4 medium acc rival high", 0.1, 0.5, 0.5, ThrottleDown, 4},
+		{"case5 high acc rival high", 0.1, 0.9, 0.5, DoNothing, 5},
+	}
+	for _, c := range cases {
+		d, tc := DecideCase(th, c.ownCov, c.ownAcc, c.rivalCov)
+		if d != c.want || tc != c.wantCase {
+			t.Errorf("%s: DecideCase(%v,%v,%v) = (%v, case %d), want (%v, case %d)",
+				c.name, c.ownCov, c.ownAcc, c.rivalCov, d, tc, c.want, c.wantCase)
+		}
+		if d2 := Decide(th, c.ownCov, c.ownAcc, c.rivalCov); d2 != d {
+			t.Errorf("%s: Decide disagrees with DecideCase", c.name)
+		}
+	}
+}
+
+func TestThrottlerEmitsEvents(t *testing.T) {
+	fb := prefetch.NewFeedback(1)
+	fb.Sources[prefetch.SrcStream].Issued.Add(100)
+	fb.Sources[prefetch.SrcStream].Used.Add(10) // low acc → case 2 down
+	fb.Sources[prefetch.SrcCDP].Issued.Add(100)
+	fb.Sources[prefetch.SrcCDP].Used.Add(80) // high cov → case 1 up
+	fb.DemandMisses.Add(100)
+
+	stream := &fakeThrottleable{level: prefetch.Moderate}
+	cdp := &fakeThrottleable{level: prefetch.Moderate}
+	trc := &telemetry.Trace{}
+	tr := NewThrottler(DefaultThresholds(), fb)
+	tr.Trace = trc
+	tr.Add(prefetch.SrcStream, stream)
+	tr.Add(prefetch.SrcCDP, cdp)
+	tr.Install()
+	fb.Eviction()
+
+	if len(trc.Events) != 2 {
+		t.Fatalf("events = %d, want 2 (one per prefetcher per round)", len(trc.Events))
+	}
+	se, ce := trc.Events[0], trc.Events[1]
+	if se.Src != prefetch.SrcStream || se.Case != 2 || se.Decision != "down" ||
+		se.OldLevel != prefetch.Moderate || se.NewLevel != prefetch.Conservative {
+		t.Fatalf("stream event = %+v", se)
+	}
+	if ce.Src != prefetch.SrcCDP || ce.Case != 1 || ce.Decision != "up" ||
+		ce.OldLevel != prefetch.Moderate || ce.NewLevel != prefetch.Aggressive {
+		t.Fatalf("cdp event = %+v", ce)
+	}
+	if se.Interval != 0 || ce.Interval != 0 {
+		t.Fatalf("interval index = %d/%d, want 0", se.Interval, ce.Interval)
+	}
+	// The recorded inputs must be the smoothed interval values.
+	if se.OwnAcc != fb.Accuracy(prefetch.SrcStream) || se.RivalCov != fb.Coverage(prefetch.SrcCDP) {
+		t.Fatalf("stream event inputs = %+v, want smoothed feedback values", se)
 	}
 }
 

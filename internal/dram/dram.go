@@ -208,6 +208,19 @@ func (c *Controller) Writeback(addr uint32, t int64) {
 // Outstanding returns the number of in-flight requests as of the last call.
 func (c *Controller) Outstanding() int { return len(c.pending) }
 
+// OutstandingAt returns the number of requests still in flight at cycle t.
+// Unlike Congested it never mutates the pending heap, so telemetry can
+// sample request-buffer occupancy without perturbing admission timing.
+func (c *Controller) OutstandingAt(t int64) int {
+	n := 0
+	for _, done := range c.pending {
+		if done > t {
+			n++
+		}
+	}
+	return n
+}
+
 // Congested reports whether at least `limit` requests are outstanding at
 // cycle t. Prefetchers drop requests under congestion (demand requests wait
 // instead).

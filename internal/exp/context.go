@@ -38,11 +38,16 @@ type Context struct {
 	TrainParams workload.Params
 	// Parallel bounds concurrent simulations.
 	Parallel int
+	// TraceDir, when non-empty, enables interval telemetry on every
+	// simulation and persists each run's JSONL trace files there (see
+	// OBSERVABILITY.md). Write failures are collected; check TraceErr.
+	TraceDir string
 
-	mu    sync.Mutex
-	grids map[string]*Grid
-	sema  chan struct{}
-	once  sync.Once
+	mu       sync.Mutex
+	grids    map[string]*Grid
+	sema     chan struct{}
+	once     sync.Once
+	traceErr error
 }
 
 // NewContext returns a context using the paper's ref/train inputs.
@@ -69,9 +74,15 @@ func (c *Context) sem() chan struct{} {
 func (c *Context) run(bench string, s sim.Setup) sim.Result {
 	c.sem() <- struct{}{}
 	defer func() { <-c.sema }()
+	if c.TraceDir != "" {
+		s.Trace = true
+	}
 	r, err := sim.RunSingle(bench, c.Params, s)
 	if err != nil {
 		panic(err) // unknown benchmark: programming error in experiment defs
+	}
+	if c.TraceDir != "" && r.Trace != nil {
+		c.noteTraceErr(WriteTrace(c.TraceDir, r.Trace))
 	}
 	return r
 }
@@ -80,11 +91,41 @@ func (c *Context) run(bench string, s sim.Setup) sim.Result {
 func (c *Context) runMulti(benches []string, s sim.Setup) sim.MultiResult {
 	c.sem() <- struct{}{}
 	defer func() { <-c.sema }()
+	if c.TraceDir != "" {
+		s.Trace = true
+	}
 	r, err := sim.RunMulti(benches, c.Params, s)
 	if err != nil {
 		panic(err)
 	}
+	if c.TraceDir != "" {
+		for i, pc := range r.PerCore {
+			if pc.Trace == nil {
+				continue
+			}
+			c.noteTraceErr(WriteTraceAs(c.TraceDir, coreTraceBase(benches, i, pc.Trace), pc.Trace))
+		}
+	}
 	return r
+}
+
+// noteTraceErr records the first trace-persistence failure.
+func (c *Context) noteTraceErr(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.traceErr == nil {
+		c.traceErr = err
+	}
+	c.mu.Unlock()
+}
+
+// TraceErr returns the first error hit while persisting traces, if any.
+func (c *Context) TraceErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.traceErr
 }
 
 // profile computes (and caches via Grid) the train-input PG profile.

@@ -2,6 +2,25 @@
 // figure of the evaluation (Section 6), each producing a Report that prints
 // the same rows/series the paper plots. The experiment index lives in
 // DESIGN.md; EXPERIMENTS.md records paper-vs-measured outcomes.
+//
+// # Running experiments
+//
+// A Context carries the shared knobs (workload Params, training Params,
+// parallelism, and an optional TraceDir) and caches profiling hints and
+// alone-run IPCs across experiments. Run(ctx, id) executes one registered
+// experiment — or all of them — and returns its Reports; each Report renders
+// as text, JSON, or CSV (Render).
+//
+// # Persisted artifacts
+//
+// When Context.TraceDir is set, every simulation runs with interval-level
+// telemetry enabled and this package serializes the resulting
+// telemetry.Trace as JSONL: one <bench>__<setup>.intervals.jsonl time series
+// and one .events.jsonl throttle-decision log per run (WriteTrace), plus a
+// reproducibility Manifest (manifest.json). The schemas are versioned by
+// TraceSchemaVersion and documented field-by-field in OBSERVABILITY.md.
+// Fixed-seed runs serialize byte-identically, so traces are diffable across
+// code changes.
 package exp
 
 import (

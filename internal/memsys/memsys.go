@@ -22,6 +22,16 @@
 // request queue (128) bounds outstanding prefetches: excess prefetches are
 // dropped, never stalled. The DRAM request buffer (32 × cores, in
 // internal/dram) backpressures both.
+//
+// # Telemetry gauges
+//
+// MSHROccupancyAt and PFQueueOccupancyAt report how many MSHR / prefetch
+// queue entries are still outstanding at a given cycle. They scan the
+// occupancy heaps without popping, so telemetry reads never perturb the
+// simulation (timestamps are not monotone under the dependence-graph CPU
+// model, making destructive reads unsafe). Interval boundaries reach the
+// feedback unit through Feedback.EvictionAt with the eviction's cycle, which
+// timestamps each telemetry.IntervalRecord.
 package memsys
 
 import (
@@ -329,7 +339,7 @@ func (ms *MemSys) handleVictim(victim cache.Line, insertedBy prefetch.Source, no
 	if insertedBy.IsPrefetch() {
 		ms.recordEvictedBy(vaddr, insertedBy)
 	}
-	ms.fb.Eviction()
+	ms.fb.EvictionAt(now)
 }
 
 // creditPrefetch performs first-demand-use accounting on a prefetched line.
@@ -656,6 +666,26 @@ func (ms *MemSys) FlushAccounting() {
 
 // BlockSize returns the cache block size in bytes.
 func (ms *MemSys) BlockSize() int { return ms.cfg.BlockSize }
+
+// MSHROccupancyAt returns the number of demand-miss fills still outstanding
+// at cycle t. The count is non-destructive (the lazily-retired heap is
+// scanned, not popped) so telemetry reads cannot perturb MSHR arbitration.
+func (ms *MemSys) MSHROccupancyAt(t int64) int { return countAfter(ms.mshr, t) }
+
+// PFQueueOccupancyAt returns the number of prefetch fills still outstanding
+// at cycle t, non-destructively.
+func (ms *MemSys) PFQueueOccupancyAt(t int64) int { return countAfter(ms.pfQueue, t) }
+
+// countAfter counts heap entries strictly greater than t.
+func countAfter(h int64Heap, t int64) int {
+	n := 0
+	for _, v := range h {
+		if v > t {
+			n++
+		}
+	}
+	return n
+}
 
 func max64(a, b int64) int64 {
 	if a > b {

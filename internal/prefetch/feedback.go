@@ -66,8 +66,10 @@ type Feedback struct {
 	evictionsInInterval int
 	intervalLen         int
 	intervals           int
+	lastEvictionAt      int64
 	// OnInterval, if non-nil, is invoked at every interval boundary after
-	// counters are folded; throttling controllers hook in here.
+	// counters are folded; throttling controllers and telemetry recorders
+	// hook in here (recorders first, so they observe the decision inputs).
 	OnInterval func()
 }
 
@@ -81,8 +83,15 @@ func NewFeedback(intervalLen int) *Feedback {
 }
 
 // Eviction notes one L2 eviction and closes the interval when the threshold
-// is reached.
-func (f *Feedback) Eviction() {
+// is reached. EvictionAt additionally timestamps the eviction so interval
+// telemetry can place the boundary in time.
+func (f *Feedback) Eviction() { f.EvictionAt(f.lastEvictionAt) }
+
+// EvictionAt notes one L2 eviction at cycle now.
+func (f *Feedback) EvictionAt(now int64) {
+	if now > f.lastEvictionAt {
+		f.lastEvictionAt = now
+	}
 	f.evictionsInInterval++
 	if f.evictionsInInterval >= f.intervalLen {
 		f.evictionsInInterval = 0
@@ -103,6 +112,10 @@ func (f *Feedback) Eviction() {
 
 // Intervals returns the number of completed intervals.
 func (f *Feedback) Intervals() int { return f.intervals }
+
+// LastEvictionAt returns the cycle of the most recent timestamped eviction
+// (the closing eviction's cycle, when read from an OnInterval hook).
+func (f *Feedback) LastEvictionAt() int64 { return f.lastEvictionAt }
 
 // Accuracy returns the smoothed prefetch accuracy of src:
 // used / issued (paper Equation 1). Returns 1 when nothing was issued, so an

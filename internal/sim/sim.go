@@ -3,6 +3,23 @@
 // the metrics the paper reports: IPC, BPKI (bus accesses per thousand
 // retired instructions), per-prefetcher accuracy and coverage, and
 // multi-core weighted/harmonic speedups.
+//
+// # Lifecycle
+//
+// A run is described by a Setup (which prefetchers to attach, which
+// throttling controller to install, hardware-config overrides) plus workload
+// Params (input scale and seed). RunSingle builds the whole stack — workload
+// trace, caches, DRAM controller, prefetchers, controllers — executes it to
+// completion, and returns a Result with the end-of-run metrics. RunMulti
+// does the same for one benchmark per core over a shared DRAM controller
+// and additionally runs each benchmark alone to normalize the weighted and
+// harmonic speedups in MultiResult.
+//
+// Setting Setup.Trace additionally attaches an interval-level telemetry
+// recorder; the Result then carries a telemetry.Trace with the per-interval
+// time series and the throttle-decision event log (see OBSERVABILITY.md).
+// Tracing is observation-only: a traced run's metrics are bit-identical to
+// an untraced run of the same Setup.
 package sim
 
 import (
@@ -18,6 +35,7 @@ import (
 	"ldsprefetch/internal/memsys"
 	"ldsprefetch/internal/prefetch"
 	"ldsprefetch/internal/stream"
+	"ldsprefetch/internal/telemetry"
 	"ldsprefetch/internal/workload"
 )
 
@@ -60,6 +78,11 @@ type Setup struct {
 
 	// ProfilePGs collects pointer-group usefulness during the run.
 	ProfilePGs bool
+
+	// Trace enables interval-level telemetry: the run's Result carries a
+	// telemetry.Trace with the per-interval time series and the
+	// throttle-decision event log. Off by default; purely observational.
+	Trace bool
 
 	// Thresholds overrides the coordinated-throttling thresholds.
 	Thresholds *core.Thresholds
@@ -111,6 +134,10 @@ type Result struct {
 	PGHist       [4]int
 	PGBeneficial int
 	PGHarmful    int
+
+	// Trace is the interval-level telemetry (when Setup.Trace); nil
+	// otherwise.
+	Trace *telemetry.Trace
 }
 
 // system is one assembled core + memory stack, ready to run.
@@ -119,6 +146,7 @@ type system struct {
 	ms    *memsys.MemSys
 	core  *cpu.Core
 	pgs   map[prefetch.PGKey]*pgCount
+	trace *telemetry.Trace
 }
 
 type pgCount struct{ useful, useless int64 }
@@ -160,6 +188,18 @@ func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (
 		level = s.InitialLevel.Clamp()
 	}
 
+	// Telemetry. The recorder is installed on the feedback hook before any
+	// throttling controller, so each interval record captures the smoothed
+	// counters exactly as the controllers are about to see them.
+	var trc *telemetry.Trace
+	var rec *telemetry.Recorder
+	levels := make(map[prefetch.Source]prefetch.Throttleable)
+	if s.Trace {
+		trc = &telemetry.Trace{Benchmark: bench, Setup: s.Name}
+		rec = telemetry.NewRecorder(trc, ms.Feedback())
+		rec.Install()
+	}
+
 	th := core.DefaultThresholds()
 	if s.Thresholds != nil {
 		th = *s.Thresholds
@@ -175,7 +215,11 @@ func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (
 
 	attach := func(pf memsys.Prefetcher, src prefetch.Source, t prefetch.Throttleable, sw pab.Switchable) {
 		ms.Attach(pf)
+		if trc != nil {
+			trc.Sources = append(trc.Sources, src)
+		}
 		if t != nil {
+			levels[src] = t
 			t.SetLevel(level)
 			if s.Throttle {
 				throttler.Add(src, t)
@@ -216,6 +260,7 @@ func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (
 	}
 
 	if s.Throttle && nThrottled > 0 {
+		throttler.Trace = trc
 		throttler.Install()
 	}
 	if s.FDP && nThrottled > 0 {
@@ -247,7 +292,23 @@ func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (
 		}
 	}
 
-	sys := &system{bench: bench, ms: ms, core: cpu.NewCore(ccfg, ms, tr)}
+	sys := &system{bench: bench, ms: ms, core: cpu.NewCore(ccfg, ms, tr), trace: trc}
+	if rec != nil {
+		// All gauge hooks are pure reads: tracing must not perturb the run.
+		c := sys.core
+		rec.Retired = func() int64 { return c.Result().Retired }
+		rec.BusTransfers = func() int64 { return ctrl.Transfers }
+		rec.ReqBuf = ctrl.OutstandingAt
+		rec.PFBacklog = ctrl.PrefetchBacklog
+		rec.MSHR = ms.MSHROccupancyAt
+		rec.PFQueue = ms.PFQueueOccupancyAt
+		rec.Level = func(src prefetch.Source) int8 {
+			if t, ok := levels[src]; ok {
+				return int8(t.Level())
+			}
+			return -1
+		}
+	}
 	if s.ProfilePGs {
 		sys.pgs = make(map[prefetch.PGKey]*pgCount)
 		get := func(pg prefetch.PGKey) *pgCount {
@@ -278,6 +339,7 @@ func (sys *system) result(setupName string, busTransfers int64) Result {
 		BusTransfers: busTransfers,
 		DemandMisses: int64(fb.DemandMisses.Raw()),
 		Mem:          sys.ms.Stats(),
+		Trace:        sys.trace,
 	}
 	if cr.Retired > 0 {
 		r.BPKI = float64(busTransfers) / (float64(cr.Retired) / 1000)
