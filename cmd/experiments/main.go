@@ -11,16 +11,30 @@
 //
 //	experiments -exp fig7 -out results/fig7        # rendered reports + manifest
 //	experiments -exp fig7 -trace results/fig7-trc  # per-run JSONL telemetry + manifest
+//	experiments -exp all  -cache results/cache     # content-addressed result cache
+//
+// -cache journals every completed simulation to a content-addressed store
+// as it finishes: re-running after a code or parameter change only
+// simulates the invalidated cells, and an interrupted sweep resumes by
+// skipping journaled ones. -verifycache re-executes every cache hit and
+// fails the job if the stored result does not match (determinism check).
+// Cache provenance (hit vs computed, per job) is recorded in the manifest.
+// See ORCHESTRATION.md.
 //
 // -trace enables interval-level telemetry on every simulation and writes one
 // pair of <bench>__<setup>.{intervals,events}.jsonl files per run, plus a
 // manifest.json recording scale/seed/parallelism, the go toolchain, and the
 // git revision. The schemas are documented in OBSERVABILITY.md.
+//
+// Failed jobs (contained worker panics, trace-write errors) do not abort
+// the sweep: they are appended to the affected report's footer and the
+// command exits 1.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -34,6 +48,11 @@ func fatal(v ...interface{}) {
 	os.Exit(2)
 }
 
+// usageHint is appended to flag-validation errors.
+const usageHint = " (run 'experiments -h' for usage)"
+
+var formatExt = map[string]string{"": "txt", "text": "txt", "json": "json", "csv": "csv"}
+
 func main() {
 	id := flag.String("exp", "", "experiment id (see -list), or \"all\"")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -43,6 +62,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text, json, or csv")
 	traceDir := flag.String("trace", "", "directory for per-run interval/event JSONL traces (+ manifest)")
 	outDir := flag.String("out", "", "directory to persist rendered reports (+ manifest)")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (cached re-runs + resume)")
+	verify := flag.Bool("verifycache", false, "re-run every cache hit and fail jobs on result mismatch")
 	flag.Parse()
 
 	if *list {
@@ -54,17 +75,29 @@ func main() {
 	if *id == "" {
 		fatal("experiments: -exp <id> required (use -list to see ids)")
 	}
+	if *par <= 0 {
+		fatal(fmt.Sprintf("experiments: -parallel must be > 0, got %d%s", *par, usageHint))
+	}
+	if *scale <= 0 || math.IsNaN(*scale) || math.IsInf(*scale, 0) {
+		fatal(fmt.Sprintf("experiments: -scale must be a positive number, got %v%s", *scale, usageHint))
+	}
+	ext, ok := formatExt[*format]
+	if !ok {
+		fatal(fmt.Sprintf("experiments: unknown -format %q (text|json|csv)%s", *format, usageHint))
+	}
+
 	ctx := exp.NewContext()
 	ctx.Params = workload.Params{Scale: *scale, Seed: *seed}
 	ctx.TrainParams = workload.Params{Scale: *scale * workload.Train().Scale, Seed: workload.Train().Seed}
 	ctx.Parallel = *par
 	ctx.TraceDir = *traceDir
+	ctx.CacheDir = *cacheDir
+	ctx.VerifyCache = *verify
 
 	reports, err := exp.Run(ctx, *id)
 	if err != nil {
 		fatal(err)
 	}
-	ext := map[string]string{"": "txt", "text": "txt", "json": "json", "csv": "csv"}[*format]
 	for _, r := range reports {
 		out, err := r.Render(*format)
 		if err != nil {
@@ -83,6 +116,12 @@ func main() {
 	}
 
 	manifest := exp.NewManifest(*id, *scale, *seed, *par)
+	if *cacheDir != "" {
+		manifest.AttachJobs(*cacheDir, ctx.Jobs())
+		snap := ctx.Jobs().Metrics().Snapshot()
+		fmt.Fprintf(os.Stderr, "cache: hits=%d misses=%d computed=%d uncached=%d coalesced=%d\n",
+			snap.CacheHits, snap.CacheMisses, snap.Computed, snap.Uncached, snap.Coalesced)
+	}
 	for _, dir := range []string{*traceDir, *outDir} {
 		if dir == "" {
 			continue
@@ -91,7 +130,11 @@ func main() {
 			fatal(err)
 		}
 	}
-	if err := ctx.TraceErr(); err != nil {
-		fatal("experiments: writing traces:", err)
+	if errs := ctx.JobErrs(); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d job(s) failed:\n", len(errs))
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, " -", e)
+		}
+		os.Exit(1)
 	}
 }

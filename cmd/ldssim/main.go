@@ -7,10 +7,17 @@
 //	ldssim -bench health -config stream -scale 0.5
 //	ldssim -bench xalancbmk,astar -config ecdp+throttle   # dual-core
 //	ldssim -bench mst -trace /tmp/t                       # + JSONL telemetry
+//	ldssim -bench mst -cache results/cache                # cached re-runs
 //	ldssim -list
 //
 // Configurations: none, stream, cdp, cdp+throttle, ecdp, ecdp+throttle,
 // markov, ghb, dbp, ideal.
+//
+// -cache <dir> routes the run through the job orchestrator's
+// content-addressed result store: an identical re-run (same benchmark,
+// configuration, scale, and seed) is served from the cache without
+// simulating, and the store is shared with the experiments CLI and
+// ldsserve. Traced runs bypass the cache (see ORCHESTRATION.md).
 //
 // -trace <dir> enables interval-level telemetry and persists the run's
 // interval-series and throttle-event JSONL files (schemas: OBSERVABILITY.md)
@@ -22,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,6 +37,7 @@ import (
 	"ldsprefetch/internal/core"
 	"ldsprefetch/internal/cpu"
 	"ldsprefetch/internal/exp"
+	"ldsprefetch/internal/jobs"
 	"ldsprefetch/internal/memsys"
 	"ldsprefetch/internal/prefetch"
 	"ldsprefetch/internal/profiling"
@@ -36,11 +45,15 @@ import (
 	"ldsprefetch/internal/workload"
 )
 
+func fatal(v ...interface{}) {
+	fmt.Fprintln(os.Stderr, v...)
+	os.Exit(2)
+}
+
 func hints(bench string, p workload.Params) *core.HintTable {
 	g, err := workload.Get(bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 	prof := profiling.Collect(g.Build(p), memsys.DefaultConfig(), cpu.DefaultConfig())
 	return prof.Hints(0)
@@ -54,6 +67,7 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	traceDir := flag.String("trace", "", "directory for interval/event JSONL traces (+ manifest)")
 	outDir := flag.String("out", "", "directory to persist the run summary (+ manifest)")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory")
 	flag.Parse()
 
 	if *list {
@@ -67,52 +81,46 @@ func main() {
 		}
 		return
 	}
+	if *scale <= 0 || math.IsNaN(*scale) || math.IsInf(*scale, 0) {
+		fatal(fmt.Sprintf("ldssim: -scale must be a positive number, got %v (run 'ldssim -h' for usage)", *scale))
+	}
 
 	p := workload.Params{Scale: *scale, Seed: *seed}
 	train := workload.Train()
 	train.Scale *= *scale
 	benches := strings.Split(*bench, ",")
 
-	mergedHints := func() *core.HintTable {
-		merged := core.NewHintTable()
+	// Hint tables are only profiled when the configuration consumes them; a
+	// mix merges the per-benchmark tables (PCs are disjoint per generator).
+	var h *core.HintTable
+	if sim.NamedNeedsHints(*config) {
+		h = core.NewHintTable()
 		for _, b := range benches {
-			h := hints(b, train)
-			for _, pc := range h.PCs() {
-				v, _ := h.Lookup(pc)
-				merged.Set(pc, v)
+			bh := hints(b, train)
+			for _, pc := range bh.PCs() {
+				v, _ := bh.Lookup(pc)
+				h.Set(pc, v)
 			}
 		}
-		return merged
 	}
-
-	var setup sim.Setup
-	switch *config {
-	case "none":
-		setup = sim.Setup{Name: "none"}
-	case "stream":
-		setup = sim.Baseline()
-	case "cdp":
-		setup = sim.Setup{Name: "stream+cdp", Stream: true, CDP: true}
-	case "cdp+throttle":
-		setup = sim.Setup{Name: "stream+cdp+thr", Stream: true, CDP: true, Throttle: true}
-	case "ecdp":
-		setup = sim.Setup{Name: "stream+ecdp", Stream: true, CDP: true, Hints: mergedHints()}
-	case "ecdp+throttle":
-		setup = sim.Setup{Name: "stream+ecdp+thr", Stream: true, CDP: true,
-			Hints: mergedHints(), Throttle: true}
-	case "markov":
-		setup = sim.Setup{Name: "stream+markov", Stream: true, Markov: true}
-	case "ghb":
-		setup = sim.Setup{Name: "ghb", GHB: true}
-	case "dbp":
-		setup = sim.Setup{Name: "stream+dbp", Stream: true, DBP: true}
-	case "ideal":
-		setup = sim.Setup{Name: "ideal-lds", Stream: true, IdealLDS: true}
-	default:
-		fmt.Fprintf(os.Stderr, "ldssim: unknown config %q\n", *config)
-		os.Exit(2)
+	setup, err := sim.Named(*config, h)
+	if err != nil {
+		fatal(fmt.Sprintf("ldssim: %v (run 'ldssim -h' for usage)", err))
 	}
 	setup.Trace = *traceDir != ""
+
+	var sched *jobs.Scheduler
+	{
+		cfg := jobs.Config{}
+		if *cacheDir != "" {
+			store, err := jobs.Open(*cacheDir)
+			if err != nil {
+				fatal("ldssim: opening cache:", err)
+			}
+			cfg.Store = store
+		}
+		sched = jobs.New(cfg)
+	}
 
 	// The summary goes to stdout and, with -out, to <out>/run.txt too.
 	var sb strings.Builder
@@ -122,10 +130,9 @@ func main() {
 	}
 
 	if len(benches) > 1 {
-		mr, err := sim.RunMulti(benches, p, setup)
+		mr, err := sched.Multi(benches, p, setup)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		fmt.Fprintf(w, "mix              %s\n", *bench)
 		fmt.Fprintf(w, "config           %s\n", setup.Name)
@@ -143,19 +150,18 @@ func main() {
 				}
 				base := fmt.Sprintf("core%d-%s", i, exp.TraceBase(pc.Trace))
 				if err := exp.WriteTraceAs(*traceDir, base, pc.Trace); err != nil {
-					fmt.Fprintln(os.Stderr, "ldssim: writing traces:", err)
-					os.Exit(2)
+					fatal("ldssim: writing traces:", err)
 				}
 			}
 		}
+		cacheSummary(*cacheDir, sched)
 		persist(*traceDir, *outDir, *config, benches, *scale, *seed, sb.String())
 		return
 	}
 
-	r, err := sim.RunSingle(*bench, p, setup)
+	r, err := sched.Single(benches[0], p, setup)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 	fmt.Fprintf(w, "benchmark      %s\n", r.Benchmark)
 	fmt.Fprintf(w, "config         %s\n", setup.Name)
@@ -173,11 +179,21 @@ func main() {
 	}
 	if *traceDir != "" && r.Trace != nil {
 		if err := exp.WriteTrace(*traceDir, r.Trace); err != nil {
-			fmt.Fprintln(os.Stderr, "ldssim: writing traces:", err)
-			os.Exit(2)
+			fatal("ldssim: writing traces:", err)
 		}
 	}
+	cacheSummary(*cacheDir, sched)
 	persist(*traceDir, *outDir, *config, benches, *scale, *seed, sb.String())
+}
+
+// cacheSummary reports cache provenance on stderr when a cache is in use.
+func cacheSummary(cacheDir string, sched *jobs.Scheduler) {
+	if cacheDir == "" {
+		return
+	}
+	snap := sched.Metrics().Snapshot()
+	fmt.Fprintf(os.Stderr, "cache: hits=%d misses=%d computed=%d uncached=%d\n",
+		snap.CacheHits, snap.CacheMisses, snap.Computed, snap.Uncached)
 }
 
 // persist writes the reproducibility manifest into each requested directory
@@ -190,14 +206,12 @@ func persist(traceDir, outDir, config string, benches []string, scale float64, s
 			continue
 		}
 		if err := m.Write(dir); err != nil {
-			fmt.Fprintln(os.Stderr, "ldssim: writing manifest:", err)
-			os.Exit(2)
+			fatal("ldssim: writing manifest:", err)
 		}
 	}
 	if outDir != "" {
 		if err := os.WriteFile(filepath.Join(outDir, "run.txt"), []byte(summary), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "ldssim: writing summary:", err)
-			os.Exit(2)
+			fatal("ldssim: writing summary:", err)
 		}
 	}
 }

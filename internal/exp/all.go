@@ -2,13 +2,16 @@ package exp
 
 import "fmt"
 
-// Registry maps experiment ids to their generators. Multi-report entries
-// (ablate) are expanded by Run.
-var Registry = []struct {
+// RegistryEntry is one registered experiment generator. Multi-report
+// entries (ablate) are expanded by Run.
+type RegistryEntry struct {
 	ID   string
 	Desc string
 	Run  func(*Context) []Report
-}{
+}
+
+// Registry maps experiment ids to their generators, in -list order.
+var Registry = []RegistryEntry{
 	{"fig1", "stream prefetcher gains + ideal LDS potential", one(Fig1)},
 	{"fig2", "original CDP effect (Fig. 2 + Table 1)", one(Fig2Table1)},
 	{"fig4", "beneficial vs harmful pointer groups", one(Fig4)},
@@ -35,21 +38,45 @@ func one(f func(*Context) Report) func(*Context) []Report {
 	return func(c *Context) []Report { return []Report{f(c)} }
 }
 
-// Run executes the experiment with the given id ("all" runs everything).
-func Run(c *Context, id string) ([]Report, error) {
+// Plan resolves an experiment id to the registry entries Run would execute:
+// every entry exactly once, in registry order, for "all"; a single entry
+// otherwise. Unknown ids are an error, never a panic.
+func Plan(id string) ([]RegistryEntry, error) {
 	if id == "all" {
-		var out []Report
-		for _, e := range Registry {
-			out = append(out, e.Run(c)...)
-		}
+		out := make([]RegistryEntry, len(Registry))
+		copy(out, Registry)
 		return out, nil
 	}
 	for _, e := range Registry {
 		if e.ID == id {
-			return e.Run(c), nil
+			return []RegistryEntry{e}, nil
 		}
 	}
 	return nil, fmt.Errorf("exp: unknown experiment %q (try \"all\" or one of the ids in DESIGN.md)", id)
+}
+
+// Run executes the experiment with the given id ("all" runs everything).
+// Job failures inside an entry (contained panics, unknown benchmarks,
+// trace-write errors) do not abort the sweep: they are appended to the
+// entry's first report as footer notes and remain queryable via
+// Context.JobErrs for the CLI exit code.
+func Run(c *Context, id string) ([]Report, error) {
+	entries, err := Plan(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []Report
+	for _, e := range entries {
+		before := len(c.JobErrs())
+		reps := e.Run(c)
+		if errs := c.JobErrs()[before:]; len(errs) > 0 && len(reps) > 0 {
+			for _, jerr := range errs {
+				reps[0].Notes = append(reps[0].Notes, "FAILED JOB: "+jerr.Error())
+			}
+		}
+		out = append(out, reps...)
+	}
+	return out, nil
 }
 
 // IDs lists the available experiment ids.

@@ -1,12 +1,12 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"ldsprefetch/internal/core"
-	"ldsprefetch/internal/cpu"
-	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/jobs"
 	"ldsprefetch/internal/profiling"
 	"ldsprefetch/internal/sim"
 	"ldsprefetch/internal/workload"
@@ -30,7 +30,11 @@ type Grid struct {
 }
 
 // Context caches profiles and grid results across experiments so that a
-// full reproduction run simulates each configuration once.
+// full reproduction run simulates each configuration once. Every simulation
+// routes through a jobs.Scheduler: panics are contained per job, identical
+// concurrent jobs are deduplicated, and — when CacheDir is set — completed
+// cells are journaled to a content-addressed store so re-runs only simulate
+// invalidated cells and interrupted sweeps resume where they stopped.
 type Context struct {
 	// Params is the measurement input (Ref by default).
 	Params workload.Params
@@ -42,11 +46,22 @@ type Context struct {
 	// simulation and persists each run's JSONL trace files there (see
 	// OBSERVABILITY.md). Write failures are collected; check TraceErr.
 	TraceDir string
+	// CacheDir, when non-empty, enables the content-addressed result store
+	// (see ORCHESTRATION.md).
+	CacheDir string
+	// VerifyCache re-executes every cache hit and fails the job on a
+	// mismatch (determinism check).
+	VerifyCache bool
+	// Sched, when set before first use, is the scheduler all simulations
+	// run on (the job service injects a per-sweep scheduler sharing a
+	// global worker pool this way). When nil, a private scheduler is built
+	// from Parallel/CacheDir/VerifyCache on first use.
+	Sched *jobs.Scheduler
 
 	mu       sync.Mutex
 	grids    map[string]*Grid
-	sema     chan struct{}
 	once     sync.Once
+	jobErrs  []error
 	traceErr error
 }
 
@@ -59,57 +74,99 @@ func NewContext() *Context {
 	}
 }
 
-func (c *Context) sem() chan struct{} {
+// Jobs returns the scheduler this context runs on, building the default one
+// on first use.
+func (c *Context) Jobs() *jobs.Scheduler {
 	c.once.Do(func() {
-		n := c.Parallel
-		if n <= 0 {
-			n = runtime.NumCPU()
+		if c.Sched != nil {
+			return
 		}
-		c.sema = make(chan struct{}, n)
+		cfg := jobs.Config{Workers: c.Parallel, Verify: c.VerifyCache}
+		if c.CacheDir != "" {
+			store, err := jobs.Open(c.CacheDir)
+			if err != nil {
+				c.noteJobErr(fmt.Errorf("opening result cache: %w", err))
+			} else {
+				cfg.Store = store
+			}
+		}
+		c.Sched = jobs.New(cfg)
 	})
-	return c.sema
+	return c.Sched
 }
 
-// run executes one simulation under the concurrency bound.
-func (c *Context) run(bench string, s sim.Setup) sim.Result {
-	c.sem() <- struct{}{}
-	defer func() { <-c.sema }()
+// RunOne executes one simulation as a job, persisting its telemetry when
+// TraceDir is set. Failures (unknown benchmark, contained worker panic) are
+// returned; trace-write failures are recorded (TraceErr, JobErrs) without
+// failing the run.
+func (c *Context) RunOne(bench string, s sim.Setup) (sim.Result, error) {
 	if c.TraceDir != "" {
 		s.Trace = true
 	}
-	r, err := sim.RunSingle(bench, c.Params, s)
+	r, err := c.Jobs().Single(bench, c.Params, s)
 	if err != nil {
-		panic(err) // unknown benchmark: programming error in experiment defs
+		return r, err
 	}
 	if c.TraceDir != "" && r.Trace != nil {
-		c.noteTraceErr(WriteTrace(c.TraceDir, r.Trace))
+		if werr := WriteTrace(c.TraceDir, r.Trace); werr != nil {
+			c.noteTraceErr(fmt.Errorf("writing trace %s/%s: %w", bench, s.Name, werr))
+		}
+	}
+	return r, nil
+}
+
+// run executes one simulation, converting failures into recorded job errors
+// (surfaced in report footers and the CLI exit code) instead of panics.
+func (c *Context) run(bench string, s sim.Setup) sim.Result {
+	r, err := c.RunOne(bench, s)
+	if err != nil {
+		c.noteJobErr(fmt.Errorf("job %s/%s: %w", bench, s.Name, err))
 	}
 	return r
 }
 
-// runMulti executes one multi-core simulation under the concurrency bound.
-func (c *Context) runMulti(benches []string, s sim.Setup) sim.MultiResult {
-	c.sem() <- struct{}{}
-	defer func() { <-c.sema }()
+// RunMix executes one multi-core simulation as jobs (one shared run plus
+// cacheable per-benchmark alone runs), persisting per-core telemetry when
+// TraceDir is set.
+func (c *Context) RunMix(benches []string, s sim.Setup) (sim.MultiResult, error) {
 	if c.TraceDir != "" {
 		s.Trace = true
 	}
-	r, err := sim.RunMulti(benches, c.Params, s)
+	r, err := c.Jobs().Multi(benches, c.Params, s)
 	if err != nil {
-		panic(err)
+		return r, err
 	}
 	if c.TraceDir != "" {
 		for i, pc := range r.PerCore {
 			if pc.Trace == nil {
 				continue
 			}
-			c.noteTraceErr(WriteTraceAs(c.TraceDir, coreTraceBase(benches, i, pc.Trace), pc.Trace))
+			if werr := WriteTraceAs(c.TraceDir, coreTraceBase(benches, i, pc.Trace), pc.Trace); werr != nil {
+				c.noteTraceErr(fmt.Errorf("writing trace %s/%s: %w", mixLabel(benches), s.Name, werr))
+			}
 		}
+	}
+	return r, nil
+}
+
+// runMulti is RunMix with failures recorded as job errors.
+func (c *Context) runMulti(benches []string, s sim.Setup) sim.MultiResult {
+	r, err := c.RunMix(benches, s)
+	if err != nil {
+		c.noteJobErr(fmt.Errorf("job %s/%s: %w", mixLabel(benches), s.Name, err))
 	}
 	return r
 }
 
-// noteTraceErr records the first trace-persistence failure.
+// noteJobErr records one failed job.
+func (c *Context) noteJobErr(err error) {
+	c.mu.Lock()
+	c.jobErrs = append(c.jobErrs, err)
+	c.mu.Unlock()
+}
+
+// noteTraceErr records a trace-persistence failure both as the legacy
+// first-error (TraceErr) and as a job error.
 func (c *Context) noteTraceErr(err error) {
 	if err == nil {
 		return
@@ -118,6 +175,7 @@ func (c *Context) noteTraceErr(err error) {
 	if c.traceErr == nil {
 		c.traceErr = err
 	}
+	c.jobErrs = append(c.jobErrs, err)
 	c.mu.Unlock()
 }
 
@@ -128,15 +186,24 @@ func (c *Context) TraceErr() error {
 	return c.traceErr
 }
 
+// JobErrs returns every job failure recorded so far, in completion order.
+func (c *Context) JobErrs() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]error, len(c.jobErrs))
+	copy(out, c.jobErrs)
+	return out
+}
+
 // profile computes (and caches via Grid) the train-input PG profile.
+// Failures degrade to an empty profile (no hints) with the error recorded.
 func (c *Context) profile(bench string) *profiling.Profile {
-	g, err := workload.Get(bench)
+	prof, err := c.Jobs().Profile(bench, c.TrainParams)
 	if err != nil {
-		panic(err)
+		c.noteJobErr(fmt.Errorf("profiling %s: %w", bench, err))
+		return &profiling.Profile{}
 	}
-	c.sem() <- struct{}{}
-	defer func() { <-c.sema }()
-	return profiling.Collect(g.Build(c.TrainParams), memsys.DefaultConfig(), cpu.DefaultConfig())
+	return prof
 }
 
 // Grid returns the cached shared results for bench, computing them on first

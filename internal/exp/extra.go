@@ -32,10 +32,16 @@ func Sec3Impl(c *Context) Report {
 		go func(i int, b string, g *Grid) {
 			defer wg.Done()
 			gen, _ := workload.Get(b)
-			c.sem() <- struct{}{}
-			prof := profiling.CollectInforming(gen.Build(c.TrainParams),
-				memsys.DefaultConfig(), cpu.DefaultConfig())
-			<-c.sema
+			prof := &profiling.Profile{}
+			v, err := c.Jobs().Do("profile-informing/"+b, func() (any, error) {
+				return profiling.CollectInforming(gen.Build(c.TrainParams),
+					memsys.DefaultConfig(), cpu.DefaultConfig()), nil
+			})
+			if err != nil {
+				c.noteJobErr(fmt.Errorf("informing-loads profiling %s: %w", b, err))
+			} else {
+				prof = v.(*profiling.Profile)
+			}
 			hints := prof.Hints(0)
 
 			// Agreement: over the union of hinted loads, do the two

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"ldsprefetch/internal/jobs"
+)
+
+// cachedCtx is testCtx wired to a result cache.
+func cachedCtx(dir string) *Context {
+	c := testCtx()
+	c.CacheDir = dir
+	return c
+}
+
+// renderAll runs one experiment on a fresh context and returns the
+// concatenated rendered reports plus the scheduler counters.
+func renderAll(t *testing.T, dir, id string) (string, jobs.Snapshot) {
+	t.Helper()
+	c := cachedCtx(dir)
+	reps, err := Run(c, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := c.JobErrs(); len(errs) > 0 {
+		t.Fatalf("job failures: %v", errs)
+	}
+	var sb strings.Builder
+	for _, r := range reps {
+		out, err := r.Render("text")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(out)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), c.Jobs().Metrics().Snapshot()
+}
+
+// TestExperimentCachedRerun is the cache-correctness acceptance test: an
+// identical re-run against the same store renders byte-identical reports
+// without executing a single cacheable simulation.
+func TestExperimentCachedRerun(t *testing.T) {
+	dir := t.TempDir()
+
+	first, s1 := renderAll(t, dir, "fig1")
+	if s1.Computed == 0 {
+		t.Fatalf("first pass computed nothing: %+v", s1)
+	}
+	if s1.CacheHits != 0 {
+		t.Fatalf("first pass against an empty store reported %d hits", s1.CacheHits)
+	}
+
+	second, s2 := renderAll(t, dir, "fig1")
+	if first != second {
+		t.Fatalf("cached re-run is not byte-identical:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if s2.Computed != 0 {
+		t.Fatalf("second pass executed %d simulations, want 0 (all from cache)", s2.Computed)
+	}
+	if s2.CacheHits != s1.Computed {
+		t.Fatalf("second pass hits=%d, want every first-pass computation (%d)", s2.CacheHits, s1.Computed)
+	}
+}
+
+// TestExperimentCacheInvalidation: changing the workload parameters must not
+// reuse stale cells.
+func TestExperimentCacheInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	_, s1 := renderAll(t, dir, "fig1")
+
+	c := cachedCtx(dir)
+	c.Params.Seed++ // different measurement input → every key changes
+	if _, err := Run(c, "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	s2 := c.Jobs().Metrics().Snapshot()
+	if s2.CacheHits != 0 {
+		t.Fatalf("changed seed still hit the cache %d times", s2.CacheHits)
+	}
+	if s2.Computed != s1.Computed {
+		t.Fatalf("changed seed computed %d cells, want %d", s2.Computed, s1.Computed)
+	}
+}
+
+// TestGridResume is the resume acceptance test: after an interrupted sweep
+// completed one benchmark's grid, resuming the two-benchmark sweep executes
+// exactly the remaining cells.
+func TestGridResume(t *testing.T) {
+	dir := t.TempDir()
+
+	// "Interrupted" sweep: one grid of seven configurations completed.
+	c1 := cachedCtx(dir)
+	c1.Grid("mst")
+	s1 := c1.Jobs().Metrics().Snapshot()
+	if s1.Computed != 7 {
+		t.Fatalf("partial sweep computed %d cells, want 7", s1.Computed)
+	}
+
+	// Resume with a wider sweep: only the new benchmark's cells execute.
+	c2 := cachedCtx(dir)
+	c2.Grid("mst")
+	c2.Grid("health")
+	s2 := c2.Jobs().Metrics().Snapshot()
+	if s2.CacheHits != 7 {
+		t.Fatalf("resume re-used %d cells, want 7", s2.CacheHits)
+	}
+	if s2.Computed != 7 {
+		t.Fatalf("resume executed %d cells, want exactly the 7 remaining", s2.Computed)
+	}
+	if errs := c2.JobErrs(); len(errs) > 0 {
+		t.Fatalf("job failures: %v", errs)
+	}
+}
+
+// TestManifestAttachJobs: the PR-1 manifest carries cache provenance.
+func TestManifestAttachJobs(t *testing.T) {
+	dir := t.TempDir()
+	c := cachedCtx(dir)
+	c.Grid("mst")
+
+	m := NewManifest("test", c.Params.Scale, c.Params.Seed, c.Parallel)
+	m.AttachJobs(dir, c.Jobs())
+	if m.Cache == nil || m.Cache.Dir != dir {
+		t.Fatalf("manifest cache summary missing: %+v", m.Cache)
+	}
+	if m.Cache.Computed != 7 {
+		t.Fatalf("manifest computed=%d, want 7", m.Cache.Computed)
+	}
+	if len(m.Jobs) == 0 {
+		t.Fatal("manifest carries no per-job provenance records")
+	}
+	var computed int
+	for _, rec := range m.Jobs {
+		if rec.Provenance == "computed" {
+			computed++
+			if rec.Key == "" {
+				t.Fatalf("computed record without a cache key: %+v", rec)
+			}
+		}
+	}
+	if computed != 7 {
+		t.Fatalf("manifest records %d computed jobs, want 7", computed)
+	}
+}

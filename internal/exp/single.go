@@ -6,6 +6,7 @@ import (
 
 	"ldsprefetch/internal/core"
 	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/profiling"
 	"ldsprefetch/internal/sim"
 	"ldsprefetch/internal/workload"
 )
@@ -414,9 +415,15 @@ func Sec616(c *Context) Report {
 			defer wg.Done()
 			// Profile with the reference input (fresh trace), then measure.
 			g, _ := workload.Get(b)
-			c.sem() <- struct{}{}
-			prof := profileTrace(g, c.Params)
-			<-c.sema
+			prof := &profiling.Profile{}
+			v, err := c.Jobs().Do("profile-self/"+b, func() (any, error) {
+				return profileTrace(g, c.Params), nil
+			})
+			if err != nil {
+				c.noteJobErr(fmt.Errorf("self-input profiling %s: %w", b, err))
+			} else {
+				prof = v.(*profiling.Profile)
+			}
 			hints := prof.Hints(0)
 			selfRes[i] = c.run(b, sim.Setup{Name: "ecdp+thr(self)", Stream: true,
 				CDP: true, Hints: hints, Throttle: true})

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"ldsprefetch/internal/jobs"
 	"ldsprefetch/internal/telemetry"
 )
 
@@ -211,6 +212,37 @@ type Manifest struct {
 	SchemaVersion int `json:"schema_version"`
 	// GeneratedAt is the UTC RFC 3339 creation time.
 	GeneratedAt string `json:"generated_at"`
+	// Cache summarizes result-cache effectiveness when a cache was in use.
+	Cache *CacheSummary `json:"cache,omitempty"`
+	// Jobs records per-job provenance — whether each simulation was served
+	// from the cache ("hit"), executed ("computed"/"uncached"), coalesced
+	// with an identical in-flight job, or failed.
+	Jobs []jobs.Record `json:"jobs,omitempty"`
+}
+
+// CacheSummary is the manifest's record of cache effectiveness.
+type CacheSummary struct {
+	Dir      string `json:"dir,omitempty"`
+	Hits     int64  `json:"hits"`
+	Misses   int64  `json:"misses"`
+	Computed int64  `json:"computed"`
+	Uncached int64  `json:"uncached"`
+	Failed   int64  `json:"failed"`
+}
+
+// AttachJobs records the scheduler's cache counters and per-job provenance
+// in the manifest.
+func (m *Manifest) AttachJobs(cacheDir string, s *jobs.Scheduler) {
+	snap := s.Metrics().Snapshot()
+	m.Cache = &CacheSummary{
+		Dir:      cacheDir,
+		Hits:     snap.CacheHits,
+		Misses:   snap.CacheMisses,
+		Computed: snap.Computed,
+		Uncached: snap.Uncached,
+		Failed:   snap.Failed,
+	}
+	m.Jobs = s.Records()
 }
 
 // NewManifest fills a manifest with the environment-derived fields

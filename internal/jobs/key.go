@@ -1,0 +1,183 @@
+// Package jobs turns simulations into cacheable, retryable, observable
+// jobs. It provides a content-addressed result store keyed by a canonical
+// hash of the full simulation input (Setup, workload parameters, benchmark
+// set, schema version), a bounded worker-pool scheduler with per-job panic
+// containment, timeout and retry, in-flight deduplication of identical
+// jobs, a journal that makes interrupted sweeps resumable, and counters
+// suitable for a /metrics endpoint. internal/exp, both CLIs, and the job
+// service route every simulation through a Scheduler.
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/workload"
+)
+
+// SchemaVersion identifies the semantics of the simulator and of the stored
+// result encoding. It participates in every cache key, so bumping it
+// invalidates the whole store: do so whenever a change makes previously
+// computed results stale (simulator behaviour, workload generation, metric
+// definitions, or the Result/MultiResult JSON shape).
+const SchemaVersion = 1
+
+// Key identifies one job's full input. Equal inputs hash equal; any change
+// to the setup, the workload parameters, the benchmark set, the machine
+// width, or SchemaVersion produces a different key.
+type Key struct {
+	// Hash is the hex SHA-256 of the canonical payload.
+	Hash string
+	// canonical is the JSON payload that was hashed, embedded in stored
+	// objects for debuggability.
+	canonical []byte
+}
+
+// keyPayload is the canonical, versioned form of a job input. Field order
+// is fixed by the struct; maps are flattened to sorted slices; encoding is
+// deterministic.
+type keyPayload struct {
+	Schema  int        `json:"schema"`
+	Kind    string     `json:"kind"` // "single", "shared", or "alone"
+	Benches []string   `json:"benches"`
+	Scale   float64    `json:"scale"`
+	Seed    int64      `json:"seed"`
+	Cores   int        `json:"cores"` // memory-system width (alone/shared runs)
+	Setup   canonSetup `json:"setup"`
+}
+
+// canonSetup mirrors sim.Setup with every pointer field expanded to a
+// value-or-null and the hint table flattened to sorted (pc, pos, neg)
+// triples. Setup.Trace is deliberately absent: tracing is observation-only
+// and traced runs bypass the cache anyway.
+type canonSetup struct {
+	Name          string          `json:"name"`
+	Stream        bool            `json:"stream"`
+	CDP           bool            `json:"cdp"`
+	Hints         []hintEntry     `json:"hints,omitempty"`
+	Markov        bool            `json:"markov"`
+	GHB           bool            `json:"ghb"`
+	DBP           bool            `json:"dbp"`
+	Throttle      bool            `json:"throttle"`
+	FDP           bool            `json:"fdp"`
+	PAB           bool            `json:"pab"`
+	HWFilter      bool            `json:"hwfilter"`
+	HWFilterBits  int             `json:"hwfilter_bits"`
+	IdealLDS      bool            `json:"ideal_lds"`
+	NoPollution   bool            `json:"no_pollution"`
+	ProfilePGs    bool            `json:"profile_pgs"`
+	Thresholds    json.RawMessage `json:"thresholds"`
+	FDPThresholds json.RawMessage `json:"fdp_thresholds"`
+	IntervalLen   int             `json:"interval_len"`
+	MemCfg        json.RawMessage `json:"mem_cfg"`
+	CPUCfg        json.RawMessage `json:"cpu_cfg"`
+	DRAMCfg       json.RawMessage `json:"dram_cfg"`
+	InitialLevel  *int            `json:"initial_level"`
+}
+
+type hintEntry struct {
+	PC  uint32 `json:"pc"`
+	Pos uint32 `json:"pos"`
+	Neg uint32 `json:"neg"`
+}
+
+// rawOrNull marshals v (a pointer to a plain-value config struct) or emits
+// JSON null when it is nil. The config structs contain only scalar exported
+// fields, so encoding/json is deterministic for them.
+func rawOrNull(v any) json.RawMessage {
+	if v == nil {
+		return json.RawMessage("null")
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Config structs are scalar-only; Marshal cannot fail on them.
+		panic(fmt.Sprintf("jobs: canonical encode: %v", err))
+	}
+	return b
+}
+
+func canonicalSetup(s sim.Setup) canonSetup {
+	cs := canonSetup{
+		Name:         s.Name,
+		Stream:       s.Stream,
+		CDP:          s.CDP,
+		Markov:       s.Markov,
+		GHB:          s.GHB,
+		DBP:          s.DBP,
+		Throttle:     s.Throttle,
+		FDP:          s.FDP,
+		PAB:          s.PAB,
+		HWFilter:     s.HWFilter,
+		HWFilterBits: s.HWFilterBits,
+		IdealLDS:     s.IdealLDS,
+		NoPollution:  s.NoPollution,
+		ProfilePGs:   s.ProfilePGs,
+		IntervalLen:  s.IntervalLen,
+	}
+	if s.Hints != nil {
+		for _, pc := range s.Hints.PCs() { // PCs() is sorted: map order cannot leak
+			v, _ := s.Hints.Lookup(pc)
+			cs.Hints = append(cs.Hints, hintEntry{PC: pc, Pos: v.Pos, Neg: v.Neg})
+		}
+	}
+	cs.Thresholds = rawOrNull(nilable(s.Thresholds))
+	cs.FDPThresholds = rawOrNull(nilable(s.FDPThresholds))
+	cs.MemCfg = rawOrNull(nilable(s.MemCfg))
+	cs.CPUCfg = rawOrNull(nilable(s.CPUCfg))
+	cs.DRAMCfg = rawOrNull(nilable(s.DRAMCfg))
+	if s.InitialLevel != nil {
+		lv := int(*s.InitialLevel)
+		cs.InitialLevel = &lv
+	}
+	return cs
+}
+
+// nilable converts a typed nil pointer into an untyped nil so rawOrNull can
+// test it.
+func nilable[T any](p *T) any {
+	if p == nil {
+		return nil
+	}
+	return p
+}
+
+// newKey builds the canonical key for one job.
+func newKey(kind string, benches []string, cores int, p workload.Params, s sim.Setup) Key {
+	return keyFromPayload(keyPayload{
+		Schema:  SchemaVersion,
+		Kind:    kind,
+		Benches: benches,
+		Scale:   p.Scale,
+		Seed:    p.Seed,
+		Cores:   cores,
+		Setup:   canonicalSetup(s),
+	})
+}
+
+func keyFromPayload(pl keyPayload) Key {
+	b, err := json.Marshal(pl)
+	if err != nil {
+		panic(fmt.Sprintf("jobs: canonical encode: %v", err))
+	}
+	h := sha256.Sum256(b)
+	return Key{Hash: hex.EncodeToString(h[:]), canonical: b}
+}
+
+// SingleKey is the cache key of a RunSingle job.
+func SingleKey(bench string, p workload.Params, s sim.Setup) Key {
+	return newKey("single", []string{bench}, 1, p, s)
+}
+
+// SharedKey is the cache key of the shared portion of a multi-core job.
+func SharedKey(benches []string, p workload.Params, s sim.Setup) Key {
+	return newKey("shared", benches, len(benches), p, s)
+}
+
+// AloneKey is the cache key of one alone-run normalization job on a
+// cores-wide machine.
+func AloneKey(bench string, p workload.Params, s sim.Setup, cores int) Key {
+	return newKey("alone", []string{bench}, cores, p, s)
+}

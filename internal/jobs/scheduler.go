@@ -1,0 +1,489 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"ldsprefetch/internal/cpu"
+	"ldsprefetch/internal/memsys"
+	"ldsprefetch/internal/profiling"
+	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/workload"
+)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Workers bounds concurrent job execution (default: NumCPU). Ignored
+	// when Slots is provided.
+	Workers int
+	// Slots, when non-nil, is a shared worker pool: several schedulers
+	// passing the same channel share one global concurrency bound while
+	// keeping per-scheduler statistics (the job service runs one scheduler
+	// per sweep this way).
+	Slots chan struct{}
+	// Store, when non-nil, enables the content-addressed result cache and
+	// the completion journal.
+	Store *Store
+	// Metrics, when non-nil, is an additional shared sink the scheduler
+	// mirrors its counters into (the per-scheduler Metrics always works).
+	Metrics *Metrics
+	// Timeout bounds one execution attempt (0 = unbounded). A timed-out
+	// attempt is abandoned: its goroutine finishes in the background and
+	// its result is discarded, so the concurrency bound can transiently be
+	// exceeded by abandoned workers.
+	Timeout time.Duration
+	// Retries is the number of re-attempts after a failed attempt
+	// (panics included, timeouts excluded — a deterministic simulation
+	// that timed out once will time out again).
+	Retries int
+	// Verify re-executes every cache hit and fails the job if the fresh
+	// result does not match the stored one — a determinism check for the
+	// simulator and the store.
+	Verify bool
+}
+
+// Record is the provenance of one completed job, in submission-completion
+// order: what ran, under which key, and whether the result came from the
+// cache ("hit"), a fresh execution ("computed" or, for uncacheable jobs,
+// "uncached"), another in-flight identical job ("coalesced"), or failed.
+type Record struct {
+	Kind       string   `json:"kind"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Setup      string   `json:"setup,omitempty"`
+	Key        string   `json:"key,omitempty"`
+	Provenance string   `json:"provenance"`
+	Attempts   int      `json:"attempts,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// Scheduler executes simulation jobs on a bounded worker pool with cache
+// lookup, in-flight deduplication, panic containment, timeout, and retry.
+// The zero value is not usable; construct with New. All methods are safe
+// for concurrent use.
+type Scheduler struct {
+	cfg     Config
+	slots   chan struct{}
+	metrics *Metrics // always non-nil; per-scheduler
+
+	mu       sync.Mutex
+	inflight map[string]*call
+	records  []Record
+}
+
+type call struct {
+	done chan struct{}
+	res  any
+	err  error
+}
+
+// New returns a Scheduler for cfg.
+func New(cfg Config) *Scheduler {
+	slots := cfg.Slots
+	if slots == nil {
+		n := cfg.Workers
+		if n <= 0 {
+			n = runtime.NumCPU()
+		}
+		slots = make(chan struct{}, n)
+	}
+	return &Scheduler{
+		cfg:      cfg,
+		slots:    slots,
+		metrics:  &Metrics{},
+		inflight: make(map[string]*call),
+	}
+}
+
+// Metrics returns the scheduler's own counters (independent of any shared
+// sink configured via Config.Metrics).
+func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// Capacity returns the size of the worker pool this scheduler draws from.
+func (s *Scheduler) Capacity() int { return cap(s.slots) }
+
+// Records returns the completion records so far, in completion order.
+func (s *Scheduler) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// sinks applies f to the per-scheduler metrics and the shared sink, if any.
+func (s *Scheduler) sinks(f func(*Metrics)) {
+	f(s.metrics)
+	if s.cfg.Metrics != nil {
+		f(s.cfg.Metrics)
+	}
+}
+
+// jobDesc describes one job to the generic execution path.
+type jobDesc struct {
+	kind      string
+	benches   []string
+	setupName string
+	key       Key  // zero Hash means uncacheable
+	cacheable bool // false: skip cache and dedup (traced runs, profiles)
+}
+
+func (s *Scheduler) record(rec Record, d time.Duration) {
+	s.mu.Lock()
+	s.records = append(s.records, rec)
+	s.mu.Unlock()
+	if s.cfg.Store != nil {
+		// Journal failures must not fail a job that produced a result.
+		_ = s.cfg.Store.appendJournal(rec, d)
+	}
+}
+
+// timeoutError marks an attempt abandoned at the deadline.
+type timeoutError struct{ d time.Duration }
+
+func (e timeoutError) Error() string {
+	return fmt.Sprintf("job timed out after %s (worker abandoned)", e.d)
+}
+
+// attempt runs fn once with panic containment and the configured timeout.
+func (s *Scheduler) attempt(fn func() (any, error)) (any, error) {
+	type outcome struct {
+		res any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.sinks(func(m *Metrics) { m.Panics.Add(1) })
+				ch <- outcome{err: fmt.Errorf("job panicked: %v\n%s", r, debug.Stack())}
+			}
+		}()
+		res, err := fn()
+		ch <- outcome{res: res, err: err}
+	}()
+	if s.cfg.Timeout <= 0 {
+		o := <-ch
+		return o.res, o.err
+	}
+	timer := time.NewTimer(s.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		s.sinks(func(m *Metrics) { m.Timeouts.Add(1) })
+		return nil, timeoutError{s.cfg.Timeout}
+	}
+}
+
+// execute runs fn under a worker slot with bounded retries.
+func (s *Scheduler) execute(fn func() (any, error)) (res any, attempts int, err error) {
+	s.sinks(func(m *Metrics) { m.QueueDepth.Add(1) })
+	s.slots <- struct{}{}
+	s.sinks(func(m *Metrics) { m.QueueDepth.Add(-1); m.WorkersBusy.Add(1) })
+	defer func() {
+		s.sinks(func(m *Metrics) { m.WorkersBusy.Add(-1) })
+		<-s.slots
+	}()
+	for attempts = 1; ; attempts++ {
+		res, err = s.attempt(fn)
+		if err == nil {
+			return res, attempts, nil
+		}
+		if _, timedOut := err.(timeoutError); timedOut || attempts > s.cfg.Retries {
+			return nil, attempts, err
+		}
+		s.sinks(func(m *Metrics) { m.Retries.Add(1) })
+	}
+}
+
+// canonicalResult re-encodes a result for the determinism check. JSON
+// round-trips float64 exactly, so two results encode equal iff their values
+// are equal.
+func canonicalResult(v any) ([]byte, error) { return json.Marshal(v) }
+
+// do is the generic job path: dedup, cache lookup, bounded execution,
+// journaling. newOut allocates the typed destination a cached result is
+// decoded into; it is only consulted for cacheable jobs with a store.
+func (s *Scheduler) do(d jobDesc, run func() (any, error), newOut func() any) (any, error) {
+	s.sinks(func(m *Metrics) { m.Submitted.Add(1) })
+	rec := Record{Kind: d.kind, Benchmarks: d.benches, Setup: d.setupName}
+	if d.cacheable {
+		rec.Key = d.key.Hash
+
+		// In-flight dedup: identical concurrent jobs share one execution.
+		s.mu.Lock()
+		if c, ok := s.inflight[d.key.Hash]; ok {
+			s.mu.Unlock()
+			<-c.done
+			s.sinks(func(m *Metrics) { m.Coalesced.Add(1) })
+			if c.err == nil {
+				s.sinks(func(m *Metrics) { m.Completed.Add(1) })
+				rec.Provenance = "coalesced"
+			} else {
+				s.sinks(func(m *Metrics) { m.Failed.Add(1) })
+				rec.Provenance = "failed"
+				rec.Error = c.err.Error()
+			}
+			s.record(rec, 0)
+			return c.res, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		s.inflight[d.key.Hash] = c
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			delete(s.inflight, d.key.Hash)
+			s.mu.Unlock()
+			close(c.done)
+		}()
+
+		res, err := s.doLeader(d, &rec, run, newOut)
+		c.res, c.err = res, err
+		return res, err
+	}
+
+	start := time.Now()
+	res, attempts, err := s.execute(run)
+	dur := time.Since(start)
+	s.sinks(func(m *Metrics) { m.observeLatency(dur) })
+	rec.Attempts = attempts
+	if err != nil {
+		s.sinks(func(m *Metrics) { m.Failed.Add(1) })
+		rec.Provenance = "failed"
+		rec.Error = err.Error()
+	} else {
+		s.sinks(func(m *Metrics) { m.Completed.Add(1); m.Uncached.Add(1) })
+		rec.Provenance = "uncached"
+	}
+	s.record(rec, dur)
+	return res, err
+}
+
+// doLeader is the non-coalesced half of do for cacheable jobs.
+func (s *Scheduler) doLeader(d jobDesc, rec *Record, run func() (any, error), newOut func() any) (any, error) {
+	if s.cfg.Store != nil {
+		out := newOut()
+		hit, err := s.cfg.Store.Get(d.key, d.kind, out)
+		if err == nil && hit {
+			s.sinks(func(m *Metrics) { m.CacheHits.Add(1) })
+			if s.cfg.Verify {
+				if verr := s.verifyHit(d, out, run); verr != nil {
+					s.sinks(func(m *Metrics) { m.Failed.Add(1) })
+					rec.Provenance = "failed"
+					rec.Error = verr.Error()
+					s.record(*rec, 0)
+					return nil, verr
+				}
+			}
+			s.sinks(func(m *Metrics) { m.Completed.Add(1) })
+			rec.Provenance = "hit"
+			s.record(*rec, 0)
+			return out, nil
+		}
+		// A corrupt object reads as a miss worth recomputing; remember the
+		// problem in the record but continue.
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		s.sinks(func(m *Metrics) { m.CacheMisses.Add(1) })
+	}
+
+	start := time.Now()
+	res, attempts, err := s.execute(run)
+	dur := time.Since(start)
+	s.sinks(func(m *Metrics) { m.observeLatency(dur) })
+	rec.Attempts = attempts
+	if err != nil {
+		s.sinks(func(m *Metrics) { m.Failed.Add(1) })
+		rec.Provenance = "failed"
+		rec.Error = err.Error()
+		s.record(*rec, dur)
+		return nil, err
+	}
+	s.sinks(func(m *Metrics) { m.Completed.Add(1); m.Computed.Add(1) })
+	rec.Provenance = "computed"
+	if s.cfg.Store != nil {
+		if perr := s.cfg.Store.Put(d.key, d.kind, res); perr != nil {
+			// The result is valid even if journaling it failed; surface the
+			// problem through the record.
+			rec.Error = perr.Error()
+		}
+	}
+	s.record(*rec, dur)
+	return res, err
+}
+
+// verifyHit recomputes a cache hit and compares it against the stored
+// result.
+func (s *Scheduler) verifyHit(d jobDesc, cached any, run func() (any, error)) error {
+	s.sinks(func(m *Metrics) { m.VerifyRuns.Add(1) })
+	fresh, _, err := s.execute(run)
+	if err != nil {
+		return fmt.Errorf("verifying cache hit %s: recompute failed: %w", d.key.Hash, err)
+	}
+	cb, err := canonicalResult(cached)
+	if err != nil {
+		return fmt.Errorf("verifying cache hit %s: %w", d.key.Hash, err)
+	}
+	fb, err := canonicalResult(fresh)
+	if err != nil {
+		return fmt.Errorf("verifying cache hit %s: %w", d.key.Hash, err)
+	}
+	if !bytes.Equal(cb, fb) {
+		s.sinks(func(m *Metrics) { m.VerifyBad.Add(1) })
+		return fmt.Errorf("cache hit %s (%s/%s) does not match a fresh run: determinism violation or stale schema",
+			d.key.Hash, d.kind, d.setupName)
+	}
+	return nil
+}
+
+// Single runs benchmark bench under setup as one job. Traced runs
+// (setup.Trace) bypass the cache: telemetry is not stored.
+func (s *Scheduler) Single(bench string, p workload.Params, setup sim.Setup) (sim.Result, error) {
+	d := jobDesc{
+		kind:      "single",
+		benches:   []string{bench},
+		setupName: setup.Name,
+		cacheable: !setup.Trace,
+	}
+	if d.cacheable {
+		d.key = SingleKey(bench, p, setup)
+	}
+	v, err := s.do(d,
+		func() (any, error) {
+			r, err := sim.RunSingle(bench, p, setup)
+			if err != nil {
+				return nil, err
+			}
+			return &r, nil
+		},
+		func() any { return new(sim.Result) })
+	if err != nil {
+		return sim.Result{Benchmark: bench, Setup: setup.Name}, err
+	}
+	return *(v.(*sim.Result)), nil
+}
+
+// Multi runs the benchmarks as a multi-core mix. The shared run and each
+// alone-run normalization execute as separate jobs, so alone runs are
+// cached and shared across every mix (and every sweep) that needs them.
+func (s *Scheduler) Multi(benches []string, p workload.Params, setup sim.Setup) (sim.MultiResult, error) {
+	n := len(benches)
+	if n == 0 {
+		return sim.MultiResult{}, fmt.Errorf("jobs: empty benchmark mix")
+	}
+
+	sharedDesc := jobDesc{
+		kind:      "shared",
+		benches:   benches,
+		setupName: setup.Name,
+		cacheable: !setup.Trace,
+	}
+	if sharedDesc.cacheable {
+		sharedDesc.key = SharedKey(benches, p, setup)
+	}
+	// Alone runs never need telemetry: their only consumer is speedup
+	// normalization, and tracing is observation-only, so stripping it keeps
+	// them cacheable even inside traced sweeps.
+	aloneSetup := setup
+	aloneSetup.Trace = false
+
+	var (
+		wg        sync.WaitGroup
+		shared    sim.MultiResult
+		sharedErr error
+		alone     = make([]float64, n)
+		aloneErrs = make([]error, n)
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := s.do(sharedDesc,
+			func() (any, error) {
+				mr, err := sim.RunShared(benches, p, setup)
+				if err != nil {
+					return nil, err
+				}
+				return &mr, nil
+			},
+			func() any { return new(sim.MultiResult) })
+		if err != nil {
+			sharedErr = err
+			return
+		}
+		shared = *(v.(*sim.MultiResult))
+	}()
+	for i := range benches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := benches[i]
+			v, err := s.do(jobDesc{
+				kind:      "alone",
+				benches:   []string{b},
+				setupName: aloneSetup.Name,
+				key:       AloneKey(b, p, aloneSetup, n),
+				cacheable: true,
+			},
+				func() (any, error) {
+					r, err := sim.RunAlone(b, p, aloneSetup, n)
+					if err != nil {
+						return nil, err
+					}
+					return &r, nil
+				},
+				func() any { return new(sim.Result) })
+			if err != nil {
+				aloneErrs[i] = err
+				return
+			}
+			alone[i] = v.(*sim.Result).IPC
+		}(i)
+	}
+	wg.Wait()
+
+	if sharedErr != nil {
+		return sim.MultiResult{Benchmarks: benches, Setup: setup.Name}, sharedErr
+	}
+	for i, err := range aloneErrs {
+		if err != nil {
+			return sim.MultiResult{Benchmarks: benches, Setup: setup.Name},
+				fmt.Errorf("alone run %s: %w", benches[i], err)
+		}
+	}
+	shared.Normalize(alone)
+	return shared, nil
+}
+
+// Do runs fn as one uncacheable job under the worker pool: bounded
+// concurrency, panic containment, timeout, and retry all apply. label names
+// the job in records and the journal.
+func (s *Scheduler) Do(label string, fn func() (any, error)) (any, error) {
+	return s.do(jobDesc{kind: "adhoc", setupName: label}, fn, nil)
+}
+
+// Profile collects the train-input pointer-group profile for bench as an
+// uncached job (profiles are cheap relative to sweeps and not serialized).
+func (s *Scheduler) Profile(bench string, p workload.Params) (*profiling.Profile, error) {
+	g, err := workload.Get(bench)
+	if err != nil {
+		s.sinks(func(m *Metrics) { m.Submitted.Add(1); m.Failed.Add(1) })
+		s.record(Record{Kind: "profile", Benchmarks: []string{bench},
+			Provenance: "failed", Error: err.Error()}, 0)
+		return nil, err
+	}
+	v, err := s.do(jobDesc{kind: "profile", benches: []string{bench}},
+		func() (any, error) {
+			return profiling.Collect(g.Build(p), memsys.DefaultConfig(), cpu.DefaultConfig()), nil
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*profiling.Profile), nil
+}

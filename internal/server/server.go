@@ -1,0 +1,575 @@
+// Package server exposes the job orchestrator over HTTP: submit an
+// experiment or a raw Setup sweep, poll job/sweep status, fetch reports in
+// the standard JSON encoding, and scrape Prometheus-style metrics. Every
+// sweep runs on its own jobs.Scheduler; all schedulers share one global
+// worker pool, one content-addressed result store, and one metrics sink, so
+// concurrent sweeps obey a single concurrency bound and reuse each other's
+// journaled results. The API is documented in ORCHESTRATION.md.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/exp"
+	"ldsprefetch/internal/jobs"
+	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheDir, when non-empty, backs every sweep with the content-
+	// addressed result store rooted there.
+	CacheDir string
+	// Workers bounds concurrent simulations across all sweeps (default:
+	// runtime.NumCPU via jobs.New).
+	Workers int
+	// Verify re-executes cache hits as a determinism check.
+	Verify bool
+	// JobTimeout bounds one simulation attempt (0 = unbounded).
+	JobTimeout time.Duration
+	// JobRetries re-attempts failed simulations.
+	JobRetries int
+}
+
+// Server is the job-service state: the sweep table plus the shared pool,
+// store, and metrics.
+type Server struct {
+	opts    Options
+	store   *jobs.Store
+	metrics *jobs.Metrics
+	slots   chan struct{}
+
+	mu     sync.Mutex
+	sweeps map[string]*sweep
+	order  []string
+	nextID int
+}
+
+// New builds a Server, opening the result store when configured.
+func New(opts Options) (*Server, error) {
+	s := &Server{
+		opts:    opts,
+		metrics: &jobs.Metrics{},
+		sweeps:  make(map[string]*sweep),
+	}
+	// Size the shared pool once so every sweep draws from the same bound.
+	n := opts.Workers
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	s.slots = make(chan struct{}, n)
+	if opts.CacheDir != "" {
+		store, err := jobs.Open(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
+	return s, nil
+}
+
+// sweepRequest is the POST /api/v1/sweeps body. Exactly one of Experiment
+// or Benchmarks+{Configs|Setups} must be set.
+type sweepRequest struct {
+	// Experiment is a registered experiment id ("fig1", ..., "all").
+	Experiment string `json:"experiment,omitempty"`
+	// Benchmarks + Configs/Setups describe a raw sweep: every benchmark
+	// runs under every configuration. Configs are the named CLI
+	// configurations; Setups are raw sim.Setup values (power-user API, not
+	// validated beyond JSON shape — a setup that panics the simulator is
+	// contained and reported as a failed job).
+	Benchmarks []string    `json:"benchmarks,omitempty"`
+	Configs    []string    `json:"configs,omitempty"`
+	Setups     []sim.Setup `json:"setups,omitempty"`
+	// Scale/Seed are the workload input parameters (defaults 1.0 / 1).
+	Scale float64 `json:"scale,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+}
+
+type sweep struct {
+	id    string
+	kind  string // "experiment" or "raw"
+	req   sweepRequest
+	sched *jobs.Scheduler
+
+	mu         sync.Mutex
+	state      string // "queued", "running", "done"
+	errMsg     string
+	failedJobs []string
+	reports    []exp.Report
+	created    time.Time
+}
+
+func (sw *sweep) setState(st string) {
+	sw.mu.Lock()
+	sw.state = st
+	sw.mu.Unlock()
+}
+
+// validate rejects malformed submissions before any job is queued.
+func (s *Server) validate(req *sweepRequest) error {
+	if req.Scale == 0 {
+		req.Scale = 1.0
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Scale <= 0 || math.IsNaN(req.Scale) || math.IsInf(req.Scale, 0) {
+		return fmt.Errorf("scale must be a positive number, got %v", req.Scale)
+	}
+	if req.Experiment != "" {
+		if len(req.Benchmarks) > 0 || len(req.Configs) > 0 || len(req.Setups) > 0 {
+			return fmt.Errorf("submit either an experiment or a raw sweep, not both")
+		}
+		if _, err := exp.Plan(req.Experiment); err != nil {
+			return err
+		}
+		return nil
+	}
+	if len(req.Benchmarks) == 0 {
+		return fmt.Errorf("missing experiment id or benchmarks list")
+	}
+	for _, b := range req.Benchmarks {
+		if _, err := workload.Get(b); err != nil {
+			return err
+		}
+	}
+	if len(req.Configs) == 0 && len(req.Setups) == 0 {
+		return fmt.Errorf("raw sweep needs configs or setups")
+	}
+	for _, cfg := range req.Configs {
+		if _, err := sim.Named(cfg, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// submit registers and launches a sweep.
+func (s *Server) submit(req sweepRequest) *sweep {
+	sched := jobs.New(jobs.Config{
+		Slots:   s.slots,
+		Store:   s.store,
+		Metrics: s.metrics,
+		Verify:  s.opts.Verify,
+		Timeout: s.opts.JobTimeout,
+		Retries: s.opts.JobRetries,
+	})
+	sw := &sweep{
+		req:     req,
+		sched:   sched,
+		state:   "queued",
+		created: time.Now(),
+		kind:    "raw",
+	}
+	if req.Experiment != "" {
+		sw.kind = "experiment"
+	}
+	s.mu.Lock()
+	s.nextID++
+	sw.id = "s" + strconv.Itoa(s.nextID)
+	s.sweeps[sw.id] = sw
+	s.order = append(s.order, sw.id)
+	s.mu.Unlock()
+	go s.runSweep(sw)
+	return sw
+}
+
+func (s *Server) runSweep(sw *sweep) {
+	sw.setState("running")
+	params := workload.Params{Scale: sw.req.Scale, Seed: sw.req.Seed}
+	train := workload.Params{Scale: sw.req.Scale * workload.Train().Scale, Seed: workload.Train().Seed}
+
+	var reports []exp.Report
+	var jobErrs []error
+	if sw.kind == "experiment" {
+		ctx := exp.NewContext()
+		ctx.Params = params
+		ctx.TrainParams = train
+		ctx.Sched = sw.sched
+		reports, _ = exp.Run(ctx, sw.req.Experiment) // id validated at submit
+		jobErrs = ctx.JobErrs()
+	} else {
+		reports, jobErrs = s.runRaw(sw, params, train)
+	}
+
+	sw.mu.Lock()
+	sw.reports = reports
+	for _, err := range jobErrs {
+		sw.failedJobs = append(sw.failedJobs, err.Error())
+	}
+	sw.state = "done"
+	sw.mu.Unlock()
+}
+
+// runRaw executes a raw benchmarks × setups sweep: one job per cell, rows
+// in deterministic bench-major order, failures contained per cell.
+func (s *Server) runRaw(sw *sweep, params, train workload.Params) ([]exp.Report, []error) {
+	var errs []error
+	var errMu sync.Mutex
+	note := func(err error) {
+		errMu.Lock()
+		errs = append(errs, err)
+		errMu.Unlock()
+	}
+
+	// Profile hints once per benchmark, only when some named config needs
+	// them.
+	needHints := false
+	for _, cfg := range sw.req.Configs {
+		if sim.NamedNeedsHints(cfg) {
+			needHints = true
+		}
+	}
+	hints := make(map[string]*core.HintTable)
+	var hintMu sync.Mutex
+	var wg sync.WaitGroup
+	if needHints {
+		for _, b := range sw.req.Benchmarks {
+			wg.Add(1)
+			go func(b string) {
+				defer wg.Done()
+				prof, err := sw.sched.Profile(b, train)
+				if err != nil {
+					note(fmt.Errorf("profiling %s: %w", b, err))
+					return
+				}
+				hintMu.Lock()
+				hints[b] = prof.Hints(0)
+				hintMu.Unlock()
+			}(b)
+		}
+		wg.Wait()
+	}
+
+	type cell struct {
+		bench, config string
+		res           sim.Result
+		err           error
+	}
+	var setups []struct {
+		label string
+		mk    func(bench string) sim.Setup
+	}
+	for _, cfg := range sw.req.Configs {
+		cfg := cfg
+		setups = append(setups, struct {
+			label string
+			mk    func(bench string) sim.Setup
+		}{cfg, func(bench string) sim.Setup {
+			setup, _ := sim.Named(cfg, hints[bench]) // validated at submit
+			return setup
+		}})
+	}
+	for i := range sw.req.Setups {
+		st := sw.req.Setups[i]
+		label := st.Name
+		if label == "" {
+			label = "setup" + strconv.Itoa(i)
+			st.Name = label
+		}
+		setups = append(setups, struct {
+			label string
+			mk    func(bench string) sim.Setup
+		}{label, func(string) sim.Setup { return st }})
+	}
+
+	cells := make([]cell, 0, len(sw.req.Benchmarks)*len(setups))
+	for _, b := range sw.req.Benchmarks {
+		for _, st := range setups {
+			cells = append(cells, cell{bench: b, config: st.label})
+		}
+	}
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var mk func(string) sim.Setup
+			for _, st := range setups {
+				if st.label == cells[i].config {
+					mk = st.mk
+					break
+				}
+			}
+			cells[i].res, cells[i].err = sw.sched.Single(cells[i].bench, params, mk(cells[i].bench))
+			if cells[i].err != nil {
+				note(fmt.Errorf("job %s/%s: %w", cells[i].bench, cells[i].config, cells[i].err))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	r := exp.Report{
+		ID:     "raw",
+		Title:  "Raw sweep: benchmarks x configurations",
+		Header: []string{"bench", "config", "IPC", "BPKI", "L2-demand-misses", "status"},
+	}
+	for _, cl := range cells {
+		status := "ok"
+		if cl.err != nil {
+			status = "FAILED"
+		}
+		r.Rows = append(r.Rows, []string{
+			cl.bench, cl.config,
+			fmt.Sprintf("%.4f", cl.res.IPC),
+			fmt.Sprintf("%.2f", cl.res.BPKI),
+			strconv.FormatInt(cl.res.DemandMisses, 10),
+			status,
+		})
+	}
+	for _, err := range errs {
+		r.Notes = append(r.Notes, "FAILED JOB: "+err.Error())
+	}
+	return []exp.Report{r}, errs
+}
+
+// sweepStatus is the GET /api/v1/sweeps/{id} body.
+type sweepStatus struct {
+	ID         string    `json:"id"`
+	Kind       string    `json:"kind"`
+	Experiment string    `json:"experiment,omitempty"`
+	Benchmarks []string  `json:"benchmarks,omitempty"`
+	State      string    `json:"state"`
+	Error      string    `json:"error,omitempty"`
+	Jobs       jobCounts `json:"jobs"`
+	FailedJobs []string  `json:"failed_jobs,omitempty"`
+	Reports    int       `json:"reports"`
+	Created    time.Time `json:"created"`
+}
+
+type jobCounts struct {
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Queued      int64 `json:"queued"`
+	Running     int64 `json:"running"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Computed    int64 `json:"computed"`
+	Uncached    int64 `json:"uncached"`
+	Coalesced   int64 `json:"coalesced"`
+}
+
+func (sw *sweep) status() sweepStatus {
+	snap := sw.sched.Metrics().Snapshot()
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sweepStatus{
+		ID:         sw.id,
+		Kind:       sw.kind,
+		Experiment: sw.req.Experiment,
+		Benchmarks: sw.req.Benchmarks,
+		State:      sw.state,
+		Error:      sw.errMsg,
+		Jobs: jobCounts{
+			Submitted:   snap.Submitted,
+			Completed:   snap.Completed,
+			Failed:      snap.Failed,
+			Queued:      snap.QueueDepth,
+			Running:     snap.WorkersBusy,
+			CacheHits:   snap.CacheHits,
+			CacheMisses: snap.CacheMisses,
+			Computed:    snap.Computed,
+			Uncached:    snap.Uncached,
+			Coalesced:   snap.Coalesced,
+		},
+		FailedJobs: append([]string(nil), sw.failedJobs...),
+		Reports:    len(sw.reports),
+		Created:    sw.created,
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if err := s.validate(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sw := s.submit(req)
+	writeJSON(w, http.StatusAccepted, sw.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]sweepStatus, 0, len(ids))
+	for _, id := range ids {
+		s.mu.Lock()
+		sw := s.sweeps[id]
+		s.mu.Unlock()
+		out = append(out, sw.status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *sweep {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sw := s.sweeps[id]
+	s.mu.Unlock()
+	if sw == nil {
+		httpError(w, http.StatusNotFound, "no sweep %q", id)
+	}
+	return sw
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if sw := s.lookup(w, r); sw != nil {
+		writeJSON(w, http.StatusOK, sw.status())
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	sw.mu.Lock()
+	state := sw.state
+	reports := sw.reports
+	sw.mu.Unlock()
+	if state != "done" {
+		httpError(w, http.StatusConflict, "sweep %s is %s; poll status until done", sw.id, state)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format == "json" {
+		// The standard JSON report encoding, one entry per report.
+		raw := make([]json.RawMessage, 0, len(reports))
+		for _, rep := range reports {
+			s, err := rep.JSON()
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "encoding report: %v", err)
+				return
+			}
+			raw = append(raw, json.RawMessage(s))
+		}
+		writeJSON(w, http.StatusOK, raw)
+		return
+	}
+	out := ""
+	for _, rep := range reports {
+		s, err := rep.Render(format)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		out += s + "\n"
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(out))
+}
+
+// handleMetrics renders the shared counters in the Prometheus text format:
+// queue depth, worker utilization, cache hit/miss counters, and the job
+// latency histogram, plus per-state sweep counts.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.metrics.Snapshot()
+	var b []byte
+	add := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	gauge := func(name string, v int64, help string) {
+		add("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name string, v int64, help string) {
+		add("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("ldsjobs_queue_depth", snap.QueueDepth, "jobs waiting for a worker slot")
+	gauge("ldsjobs_workers_busy", snap.WorkersBusy, "jobs currently executing")
+	gauge("ldsjobs_workers_capacity", int64(cap(s.slots)), "size of the shared worker pool")
+	counter("ldsjobs_jobs_submitted_total", snap.Submitted, "jobs submitted")
+	counter("ldsjobs_jobs_completed_total", snap.Completed, "jobs finished successfully")
+	counter("ldsjobs_jobs_failed_total", snap.Failed, "jobs that exhausted their attempts")
+	counter("ldsjobs_jobs_coalesced_total", snap.Coalesced, "duplicate in-flight jobs served by a leader")
+	counter("ldsjobs_jobs_retries_total", snap.Retries, "re-attempts after failures")
+	counter("ldsjobs_jobs_panics_total", snap.Panics, "worker panics contained")
+	counter("ldsjobs_jobs_timeouts_total", snap.Timeouts, "attempts abandoned at the deadline")
+	counter("ldsjobs_cache_hits_total", snap.CacheHits, "results served from the store")
+	counter("ldsjobs_cache_misses_total", snap.CacheMisses, "cacheable jobs that had to compute")
+	counter("ldsjobs_cache_computed_total", snap.Computed, "cacheable simulations executed")
+	counter("ldsjobs_cache_uncached_total", snap.Uncached, "uncacheable executions")
+	counter("ldsjobs_cache_verify_runs_total", snap.VerifyRuns, "determinism checks on cache hits")
+	counter("ldsjobs_cache_verify_mismatches_total", snap.VerifyBad, "determinism check failures")
+
+	add("# HELP ldsjobs_job_duration_seconds job execution latency\n")
+	add("# TYPE ldsjobs_job_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, le := range jobs.LatencyBuckets {
+		cum += snap.LatencyBucketCounts[i]
+		add("ldsjobs_job_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += snap.LatencyBucketCounts[len(jobs.LatencyBuckets)]
+	add("ldsjobs_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	add("ldsjobs_job_duration_seconds_sum %g\n", snap.LatencySumSeconds)
+	add("ldsjobs_job_duration_seconds_count %d\n", snap.LatencyCount)
+
+	states := map[string]int{}
+	s.mu.Lock()
+	for _, sw := range s.sweeps {
+		sw.mu.Lock()
+		states[sw.state]++
+		sw.mu.Unlock()
+	}
+	s.mu.Unlock()
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	add("# HELP ldsserve_sweeps sweeps by state\n# TYPE ldsserve_sweeps gauge\n")
+	for _, k := range keys {
+		add("ldsserve_sweeps{state=%q} %d\n", k, states[k])
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b)
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"ldsprefetch/internal/core"
+)
+
+// namedConfigs maps the CLI/API configuration names to Setup constructors.
+// The hints argument is only consulted by the ECDP variants.
+var namedConfigs = []struct {
+	Name       string
+	NeedsHints bool
+	Make       func(hints *core.HintTable) Setup
+}{
+	{"none", false, func(*core.HintTable) Setup { return Setup{Name: "none"} }},
+	{"stream", false, func(*core.HintTable) Setup { return Baseline() }},
+	{"cdp", false, func(*core.HintTable) Setup {
+		return Setup{Name: "stream+cdp", Stream: true, CDP: true}
+	}},
+	{"cdp+throttle", false, func(*core.HintTable) Setup {
+		return Setup{Name: "stream+cdp+thr", Stream: true, CDP: true, Throttle: true}
+	}},
+	{"ecdp", true, func(h *core.HintTable) Setup {
+		return Setup{Name: "stream+ecdp", Stream: true, CDP: true, Hints: h}
+	}},
+	{"ecdp+throttle", true, func(h *core.HintTable) Setup {
+		return Setup{Name: "stream+ecdp+thr", Stream: true, CDP: true, Hints: h, Throttle: true}
+	}},
+	{"markov", false, func(*core.HintTable) Setup {
+		return Setup{Name: "stream+markov", Stream: true, Markov: true}
+	}},
+	{"ghb", false, func(*core.HintTable) Setup { return Setup{Name: "ghb", GHB: true} }},
+	{"dbp", false, func(*core.HintTable) Setup {
+		return Setup{Name: "stream+dbp", Stream: true, DBP: true}
+	}},
+	{"ideal", false, func(*core.HintTable) Setup {
+		return Setup{Name: "ideal-lds", Stream: true, IdealLDS: true}
+	}},
+}
+
+// Named returns the Setup for a named configuration ("stream",
+// "ecdp+throttle", ...). hints is the profiled hint table the ECDP variants
+// attach; it is ignored by the others (NamedNeedsHints reports which is
+// which, so callers can skip profiling when it is not needed).
+func Named(config string, hints *core.HintTable) (Setup, error) {
+	for _, nc := range namedConfigs {
+		if nc.Name == config {
+			return nc.Make(hints), nil
+		}
+	}
+	return Setup{}, fmt.Errorf("sim: unknown config %q (have %s)",
+		config, strings.Join(NamedConfigs(), ", "))
+}
+
+// NamedConfigs lists the named configurations in presentation order.
+func NamedConfigs() []string {
+	out := make([]string, len(namedConfigs))
+	for i, nc := range namedConfigs {
+		out[i] = nc.Name
+	}
+	return out
+}
+
+// NamedNeedsHints reports whether config requires a profiled hint table
+// (the ECDP variants). Unknown names return false; Named reports the error.
+func NamedNeedsHints(config string) bool {
+	for _, nc := range namedConfigs {
+		if nc.Name == config {
+			return nc.NeedsHints
+		}
+	}
+	return false
+}

@@ -23,6 +23,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"ldsprefetch/internal/baselines/dbp"
 	"ldsprefetch/internal/baselines/fdp"
 	"ldsprefetch/internal/baselines/ghb"
@@ -165,12 +167,15 @@ func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (
 	if err != nil {
 		return nil, err
 	}
-	tr := g.Build(p)
 
 	mcfg := memsys.DefaultConfig()
 	if s.MemCfg != nil {
 		mcfg = *s.MemCfg
 	}
+	if mcfg.BlockSize <= 0 || mcfg.BlockSize&(mcfg.BlockSize-1) != 0 {
+		return nil, fmt.Errorf("sim: block size %d is not a positive power of two", mcfg.BlockSize)
+	}
+	tr := g.Build(p)
 	if s.IntervalLen > 0 {
 		mcfg.IntervalLen = s.IntervalLen
 	}
@@ -422,11 +427,13 @@ type MultiResult struct {
 	BusPKI       float64
 }
 
-// RunMulti runs the given benchmarks concurrently, one per core, on a shared
-// DRAM controller (private L1/L2 per core, as in the paper's multi-core
-// configuration), then runs each benchmark alone on the same configuration
-// to normalize the speedup metrics.
-func RunMulti(benches []string, p workload.Params, s Setup) (MultiResult, error) {
+// RunShared runs the given benchmarks concurrently, one per core, on a
+// shared DRAM controller (private L1/L2 per core, as in the paper's
+// multi-core configuration). The speedup-normalization fields (AloneIPC,
+// WeightedSpeedup, HmeanSpeedup) are left zero; run each benchmark alone
+// with RunAlone and call Normalize to fill them. Job schedulers use this
+// decomposition to cache and share alone runs across mixes.
+func RunShared(benches []string, p workload.Params, s Setup) (MultiResult, error) {
 	n := len(benches)
 	ctrl := controllerFor(s, n)
 	systems := make([]*system, n)
@@ -470,32 +477,63 @@ func RunMulti(benches []string, p workload.Params, s Setup) (MultiResult, error)
 	if totalRetired > 0 {
 		res.BusPKI = float64(ctrl.Transfers) / (float64(totalRetired) / 1000)
 	}
+	return res, nil
+}
 
-	// Alone runs on the same (multi-core-sized) memory system.
-	res.AloneIPC = make([]float64, n)
-	for i, b := range benches {
-		aloneCtrl := controllerFor(s, n)
-		sys, err := assemble(b, p, s, aloneCtrl)
-		if err != nil {
-			return MultiResult{}, err
-		}
-		for !sys.core.Done() {
-			sys.core.Step(1 << 16)
-		}
-		sys.ms.FlushAccounting()
-		res.AloneIPC[i] = sys.core.Result().IPC()
+// RunAlone runs bench by itself on a memory system sized for a cores-core
+// machine — the normalization runs RunMulti uses to compute weighted and
+// harmonic speedups. Its result depends only on (bench, p, s, cores), so an
+// alone run is shareable across every mix of the same width that includes
+// the benchmark under the same configuration.
+func RunAlone(bench string, p workload.Params, s Setup, cores int) (Result, error) {
+	ctrl := controllerFor(s, cores)
+	sys, err := assemble(bench, p, s, ctrl)
+	if err != nil {
+		return Result{}, err
 	}
+	for !sys.core.Done() {
+		sys.core.Step(1 << 16)
+	}
+	sys.ms.FlushAccounting()
+	return sys.result(s.Name, ctrl.Transfers), nil
+}
+
+// Normalize fills the speedup metrics from each benchmark's alone-run IPC
+// (index-aligned with Benchmarks/PerCore).
+func (mr *MultiResult) Normalize(aloneIPC []float64) {
+	mr.AloneIPC = aloneIPC
+	mr.WeightedSpeedup, mr.HmeanSpeedup = 0, 0
 	var hs float64
-	for i, r := range res.PerCore {
-		if res.AloneIPC[i] > 0 {
-			res.WeightedSpeedup += r.IPC / res.AloneIPC[i]
+	for i, r := range mr.PerCore {
+		if aloneIPC[i] > 0 {
+			mr.WeightedSpeedup += r.IPC / aloneIPC[i]
 		}
 		if r.IPC > 0 {
-			hs += res.AloneIPC[i] / r.IPC
+			hs += aloneIPC[i] / r.IPC
 		}
 	}
 	if hs > 0 {
-		res.HmeanSpeedup = float64(n) / hs
+		mr.HmeanSpeedup = float64(len(mr.PerCore)) / hs
 	}
+}
+
+// RunMulti runs the given benchmarks concurrently, one per core, on a shared
+// DRAM controller, then runs each benchmark alone on the same configuration
+// to normalize the speedup metrics. It is RunShared + RunAlone + Normalize
+// in one call.
+func RunMulti(benches []string, p workload.Params, s Setup) (MultiResult, error) {
+	res, err := RunShared(benches, p, s)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	alone := make([]float64, len(benches))
+	for i, b := range benches {
+		r, err := RunAlone(b, p, s, len(benches))
+		if err != nil {
+			return MultiResult{}, err
+		}
+		alone[i] = r.IPC
+	}
+	res.Normalize(alone)
 	return res, nil
 }
