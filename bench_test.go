@@ -13,10 +13,13 @@ import (
 // minutes; run `go run ./cmd/experiments -exp all` for full-scale numbers.
 //
 // Each iteration builds a fresh context — the measured quantity is the cost
-// of reproducing the artifact from scratch (workload generation, profiling
-// pass, and all simulations).
+// of reproducing the artifact from scratch (profiling pass and all
+// simulations; workload builds are shared via workload.BuildShared).
+//
+// The scale is the package-level BenchScale constant so the test harness and
+// cmd/ldsbench measure identical work (see BENCHMARKS.md).
 
-const benchScale = 0.15
+const benchScale = BenchScale
 
 func benchCtx() *exp.Context {
 	c := exp.NewContext()

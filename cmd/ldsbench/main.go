@@ -1,0 +1,225 @@
+// Command ldsbench runs the repository's benchmark set through
+// testing.Benchmark and emits a versioned JSON artifact (BENCH_PR3.json by
+// default) recording ns/op, B/op, allocs/op, and simulated-accesses/sec per
+// benchmark, plus the metadata needed to compare runs over time (schema
+// version, workload scale, Go version). CI runs the short set on every push
+// and uploads the artifact; see BENCHMARKS.md for the schema and the
+// comparison methodology.
+//
+// Usage:
+//
+//	ldsbench                      # short set -> BENCH_PR3.json
+//	ldsbench -set full -out -     # every paper artifact, JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	lds "ldsprefetch"
+)
+
+// schemaVersion identifies the artifact layout. Bump on breaking changes.
+const schemaVersion = "ldsbench/1"
+
+// benchmark is one measurable unit: either a paper artifact (an experiment
+// id) or a micro-benchmark of the simulator.
+type benchmark struct {
+	name  string
+	short bool // member of the CI short set
+	run   func(b *testing.B, in lds.Input)
+	// accesses returns the simulated demand accesses of one iteration, for
+	// the simulated-accesses/sec rate (0 = not applicable).
+	accesses func(in lds.Input) int64
+}
+
+// result is one row of the JSON artifact.
+type result struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	// SimAccessesPerSec is simulated demand accesses divided by wall time,
+	// the simulator's end-to-end throughput metric (micro-benchmarks only).
+	SimAccessesPerSec float64 `json:"simulated_accesses_per_sec,omitempty"`
+}
+
+// baselineRow records a prior PR's measurement for trajectory comparison.
+type baselineRow struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// artifact is the full JSON document.
+type artifact struct {
+	SchemaVersion string   `json:"schema_version"`
+	Set           string   `json:"set"`
+	Scale         float64  `json:"scale"`
+	Seed          int64    `json:"seed"`
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	Benchmarks    []result `json:"benchmarks"`
+	// BaselinePR2 holds the same benchmarks measured at the PR 2 tree
+	// (identical scale and seed), the reference point for this PR's
+	// trajectory. Bytes/op was not recorded for the micro-benchmarks then.
+	BaselinePR2 []baselineRow `json:"baseline_pr2"`
+}
+
+// baselinePR2 are the PR 2 measurements at scale 0.15, seed 1.
+var baselinePR2 = []baselineRow{
+	{Name: "fig1", NsPerOp: 6377296818, BytesPerOp: 4235411768, AllocsPerOp: 9368510},
+	{Name: "sim_baseline", NsPerOp: 68499840, AllocsPerOp: 87171},
+	{Name: "sim_cdp", NsPerOp: 94685156, AllocsPerOp: 202660},
+}
+
+func experimentBench(id string) func(b *testing.B, in lds.Input) {
+	return func(b *testing.B, in lds.Input) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reports, err := lds.Experiment(id, in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(reports) == 0 {
+				b.Fatalf("%s produced no reports", id)
+			}
+		}
+	}
+}
+
+func simBench(bench string, setup func() lds.Setup) benchmark {
+	run := func(in lds.Input) (lds.Result, error) {
+		return lds.Run(bench, in, setup())
+	}
+	return benchmark{
+		short: true,
+		run: func(b *testing.B, in lds.Input) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		accesses: func(in lds.Input) int64 {
+			res, err := run(in)
+			if err != nil {
+				return 0
+			}
+			return res.Mem.Accesses
+		},
+	}
+}
+
+func benchmarks() []benchmark {
+	var out []benchmark
+
+	base := simBench("mst", lds.Baseline)
+	base.name = "sim_baseline"
+	out = append(out, base)
+
+	cdp := simBench("mst", lds.OriginalCDP)
+	cdp.name = "sim_cdp"
+	out = append(out, cdp)
+
+	prop := simBench("mst", func() lds.Setup {
+		train := lds.Input{Scale: lds.BenchScale * lds.TrainInput().Scale, Seed: 1009}
+		return lds.Proposal(lds.ProfileHints("mst", train))
+	})
+	prop.name = "sim_proposal"
+	out = append(out, prop)
+
+	out = append(out, benchmark{
+		name:  "profile_pass",
+		short: true,
+		run: func(b *testing.B, in lds.Input) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if lds.ProfileHints("mst", lds.Input{Scale: in.Scale, Seed: 1009}).Len() == 0 {
+					b.Fatal("no hints")
+				}
+			}
+		},
+	})
+
+	// Paper artifacts. fig1 is in the short set: it is the headline artifact
+	// and the alloc-trajectory acceptance gate.
+	shortExps := map[string]bool{"fig1": true}
+	for _, id := range []string{"fig1", "fig2", "fig4", "fig7", "fig8", "fig9",
+		"fig10", "table7", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"sec23", "sec616", "sec67", "sec72", "sec74", "ablate"} {
+		out = append(out, benchmark{name: id, short: shortExps[id], run: experimentBench(id)})
+	}
+	return out
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output path (- for stdout)")
+	set := flag.String("set", "short", "benchmark set: short (CI) or full (every artifact)")
+	scale := flag.Float64("scale", lds.BenchScale, "workload input scale")
+	seed := flag.Int64("seed", 1, "workload input seed")
+	flag.Parse()
+
+	if *set != "short" && *set != "full" {
+		fmt.Fprintln(os.Stderr, "ldsbench: -set must be short or full")
+		os.Exit(2)
+	}
+	in := lds.Input{Scale: *scale, Seed: *seed}
+
+	doc := artifact{
+		SchemaVersion: schemaVersion,
+		Set:           *set,
+		Scale:         *scale,
+		Seed:          *seed,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		BaselinePR2:   baselinePR2,
+	}
+	for _, bm := range benchmarks() {
+		if *set == "short" && !bm.short {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ldsbench: running %s\n", bm.name)
+		r := testing.Benchmark(func(b *testing.B) { bm.run(b, in) })
+		row := result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if bm.accesses != nil && r.NsPerOp() > 0 {
+			if acc := bm.accesses(in); acc > 0 {
+				row.SimAccessesPerSec = float64(acc) * 1e9 / float64(r.NsPerOp())
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, row)
+		fmt.Fprintf(os.Stderr, "ldsbench: %-14s %12d ns/op %12d B/op %9d allocs/op\n",
+			bm.name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldsbench:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ldsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ldsbench: wrote %s\n", *out)
+}

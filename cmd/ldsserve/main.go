@@ -22,11 +22,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"ldsprefetch/internal/server"
 )
@@ -62,8 +67,32 @@ func main() {
 	if err != nil {
 		fatal("ldsserve:", err)
 	}
+	// Graceful shutdown: on SIGTERM/SIGINT stop accepting connections, stop
+	// accepting new sweeps, and drain in-flight sweeps so every journal and
+	// result-object write completes before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("ldsserve: listening on %s (parallel=%d cache=%q)\n", *addr, *par, *cacheDir)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	select {
+	case err := <-errc:
 		fatal("ldsserve:", err)
+	case <-ctx.Done():
+		stop() // restore default signal behaviour: a second signal kills
+		fmt.Println("ldsserve: signal received; draining in-flight sweeps")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "ldsserve: http shutdown:", err)
+		}
+		srv.Drain()
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal("ldsserve:", err)
+		}
+		fmt.Println("ldsserve: drained; journal and result objects flushed")
 	}
 }

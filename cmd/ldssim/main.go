@@ -51,11 +51,11 @@ func fatal(v ...interface{}) {
 }
 
 func hints(bench string, p workload.Params) *core.HintTable {
-	g, err := workload.Get(bench)
+	tr, err := workload.BuildShared(bench, p)
 	if err != nil {
 		fatal(err)
 	}
-	prof := profiling.Collect(g.Build(p), memsys.DefaultConfig(), cpu.DefaultConfig())
+	prof := profiling.Collect(tr, memsys.DefaultConfig(), cpu.DefaultConfig())
 	return prof.Hints(0)
 }
 

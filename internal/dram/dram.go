@@ -17,7 +17,7 @@
 // cycles exceeds 1 block / 40 cycles).
 package dram
 
-import "container/heap"
+import "ldsprefetch/internal/heap64"
 
 // Config parameterizes the DRAM model.
 type Config struct {
@@ -60,20 +60,6 @@ func (c Config) MinLatency() int64 {
 	return c.CtrlCycles + c.BankCycles + c.BusCycles + c.FillCycles
 }
 
-type int64Heap []int64
-
-func (h int64Heap) Len() int            { return len(h) }
-func (h int64Heap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h int64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *int64Heap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *int64Heap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // Controller is the shared memory controller. In multi-core configurations
 // all cores' L2 caches send requests to one Controller, so bank and bus
 // contention between cores is modelled.
@@ -86,11 +72,11 @@ func (h *int64Heap) Pop() interface{} {
 // interference channels the paper's throttling manages.
 type Controller struct {
 	cfg         Config
-	bankFree    []int64   // full FIFO view per bank: all accesses
-	bankFreeDem []int64   // demand-priority view per bank
-	busFree     int64     // full FIFO view: all transfers
-	busFreeDem  int64     // demand-priority view of the bus
-	pending     int64Heap // completion times of outstanding requests
+	bankFree    []int64     // full FIFO view per bank: all accesses
+	bankFreeDem []int64     // demand-priority view per bank
+	busFree     int64       // full FIFO view: all transfers
+	busFreeDem  int64       // demand-priority view of the bus
+	pending     heap64.Heap // completion times of outstanding requests
 
 	// Transfers counts data-block bus transfers (fills and writebacks);
 	// this is the BPKI numerator.
@@ -124,12 +110,10 @@ func (c *Controller) bank(addr uint32) int {
 // the request waits for the earliest outstanding completion.
 func (c *Controller) admit(t int64) int64 {
 	// Retire completed requests.
-	for len(c.pending) > 0 && c.pending[0] <= t {
-		heap.Pop(&c.pending)
-	}
+	c.pending.PopLE(t)
 	if c.cfg.RequestBuffer > 0 && len(c.pending) >= c.cfg.RequestBuffer {
 		c.Stalls++
-		earliest := heap.Pop(&c.pending).(int64)
+		earliest := c.pending.Pop()
 		if earliest > t {
 			t = earliest
 		}
@@ -172,7 +156,7 @@ func (c *Controller) Access(addr uint32, t int64, demand bool) int64 {
 	}
 
 	done := busDone + c.cfg.FillCycles
-	heap.Push(&c.pending, done)
+	c.pending.Push(done)
 	c.Transfers++
 	if demand {
 		c.DemandTransfers++
@@ -212,22 +196,14 @@ func (c *Controller) Outstanding() int { return len(c.pending) }
 // Unlike Congested it never mutates the pending heap, so telemetry can
 // sample request-buffer occupancy without perturbing admission timing.
 func (c *Controller) OutstandingAt(t int64) int {
-	n := 0
-	for _, done := range c.pending {
-		if done > t {
-			n++
-		}
-	}
-	return n
+	return c.pending.CountGreater(t)
 }
 
 // Congested reports whether at least `limit` requests are outstanding at
 // cycle t. Prefetchers drop requests under congestion (demand requests wait
 // instead).
 func (c *Controller) Congested(t int64, limit int) bool {
-	for len(c.pending) > 0 && c.pending[0] <= t {
-		heap.Pop(&c.pending)
-	}
+	c.pending.PopLE(t)
 	return limit > 0 && len(c.pending) >= limit
 }
 

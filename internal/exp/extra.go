@@ -31,10 +31,13 @@ func Sec3Impl(c *Context) Report {
 		wg.Add(1)
 		go func(i int, b string, g *Grid) {
 			defer wg.Done()
-			gen, _ := workload.Get(b)
 			prof := &profiling.Profile{}
 			v, err := c.Jobs().Do("profile-informing/"+b, func() (any, error) {
-				return profiling.CollectInforming(gen.Build(c.TrainParams),
+				tr, err := workload.BuildShared(b, c.TrainParams)
+				if err != nil {
+					return nil, err
+				}
+				return profiling.CollectInforming(tr,
 					memsys.DefaultConfig(), cpu.DefaultConfig()), nil
 			})
 			if err != nil {

@@ -12,9 +12,14 @@ import (
 	"ldsprefetch/internal/workload"
 )
 
-// profileTrace runs the profiling pass over a fresh trace built with p.
-func profileTrace(g workload.Generator, p workload.Params) *profiling.Profile {
-	return profiling.Collect(g.Build(p), memsys.DefaultConfig(), cpu.DefaultConfig())
+// profileTrace runs the profiling pass over a private clone of the shared
+// functional build of bench at p.
+func profileTrace(bench string, p workload.Params) *profiling.Profile {
+	tr, err := workload.BuildShared(bench, p)
+	if err != nil {
+		panic(err) // callers pass registry benchmark names
+	}
+	return profiling.Collect(tr, memsys.DefaultConfig(), cpu.DefaultConfig())
 }
 
 // TwoCoreWorkloads are the 12 dual-core multiprogrammed combinations

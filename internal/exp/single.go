@@ -413,11 +413,10 @@ func Sec616(c *Context) Report {
 		wg.Add(1)
 		go func(i int, b string) {
 			defer wg.Done()
-			// Profile with the reference input (fresh trace), then measure.
-			g, _ := workload.Get(b)
+			// Profile with the reference input, then measure.
 			prof := &profiling.Profile{}
 			v, err := c.Jobs().Do("profile-self/"+b, func() (any, error) {
-				return profileTrace(g, c.Params), nil
+				return profileTrace(b, c.Params), nil
 			})
 			if err != nil {
 				c.noteJobErr(fmt.Errorf("self-input profiling %s: %w", b, err))

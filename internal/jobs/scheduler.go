@@ -471,8 +471,7 @@ func (s *Scheduler) Do(label string, fn func() (any, error)) (any, error) {
 // Profile collects the train-input pointer-group profile for bench as an
 // uncached job (profiles are cheap relative to sweeps and not serialized).
 func (s *Scheduler) Profile(bench string, p workload.Params) (*profiling.Profile, error) {
-	g, err := workload.Get(bench)
-	if err != nil {
+	if _, err := workload.Get(bench); err != nil {
 		s.sinks(func(m *Metrics) { m.Submitted.Add(1); m.Failed.Add(1) })
 		s.record(Record{Kind: "profile", Benchmarks: []string{bench},
 			Provenance: "failed", Error: err.Error()}, 0)
@@ -480,7 +479,11 @@ func (s *Scheduler) Profile(bench string, p workload.Params) (*profiling.Profile
 	}
 	v, err := s.do(jobDesc{kind: "profile", benches: []string{bench}},
 		func() (any, error) {
-			return profiling.Collect(g.Build(p), memsys.DefaultConfig(), cpu.DefaultConfig()), nil
+			tr, err := workload.BuildShared(bench, p)
+			if err != nil {
+				return nil, err
+			}
+			return profiling.Collect(tr, memsys.DefaultConfig(), cpu.DefaultConfig()), nil
 		}, nil)
 	if err != nil {
 		return nil, err

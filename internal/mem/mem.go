@@ -36,20 +36,49 @@ const (
 // is not ready to use; call New.
 type Memory struct {
 	pages map[uint32][]byte
+	// Last-page cache: accesses cluster heavily within a page (pointer
+	// chases walk nodes far smaller than the 64 KiB page), so remembering
+	// the last resolved page skips the map lookup on the hot path.
+	lastPN   uint32
+	lastPage []byte
 }
+
+// noPage is the lastPN sentinel. Page numbers only span addr>>pageShift
+// (16 bits), so the all-ones value can never match a real page.
+const noPage = ^uint32(0)
 
 // New returns an empty memory. Reads of unwritten locations return zero.
 func New() *Memory {
-	return &Memory{pages: make(map[uint32][]byte)}
+	return &Memory{pages: make(map[uint32][]byte), lastPN: noPage}
+}
+
+// Clone returns a deep copy of the memory image. Traces share one functional
+// build per workload (see workload.BuildShared); each simulated core replays
+// stores against its own clone.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{pages: make(map[uint32][]byte, len(m.pages)), lastPN: noPage}
+	for pn, p := range m.pages {
+		cp := make([]byte, pageSize)
+		copy(cp, p)
+		c.pages[pn] = cp
+	}
+	return c
 }
 
 func (m *Memory) page(addr uint32, create bool) []byte {
 	pn := addr >> pageShift
+	if pn == m.lastPN {
+		return m.lastPage
+	}
 	p := m.pages[pn]
-	if p == nil && create {
+	if p == nil {
+		if !create {
+			return nil // don't cache misses: the page may be created later
+		}
 		p = make([]byte, pageSize)
 		m.pages[pn] = p
 	}
+	m.lastPN, m.lastPage = pn, p
 	return p
 }
 
@@ -139,7 +168,10 @@ type Allocator struct {
 }
 
 // NewAllocator returns a heap allocator over m starting at HeapBase with the
-// given capacity in bytes. align must be a power of two (0 means 4).
+// given capacity in bytes. align must be a power of two (0 means 4). The heap
+// region must fit below StackBase; a capacity that would overrun it (or wrap
+// the 32-bit address space) panics immediately rather than letting later
+// allocations alias the stack or wrap around to low addresses.
 func NewAllocator(m *Memory, capacity uint32, align uint32) *Allocator {
 	if align == 0 {
 		align = 4
@@ -147,7 +179,11 @@ func NewAllocator(m *Memory, capacity uint32, align uint32) *Allocator {
 	if align&(align-1) != 0 {
 		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
 	}
-	return &Allocator{mem: m, next: HeapBase, limit: HeapBase + capacity, align: align}
+	limit := uint64(HeapBase) + uint64(capacity)
+	if limit > uint64(StackBase) {
+		panic(fmt.Sprintf("mem: heap capacity %#x overruns the stack region (limit %#x > StackBase %#x); reduce the workload scale", capacity, limit, StackBase))
+	}
+	return &Allocator{mem: m, next: HeapBase, limit: uint32(limit), align: align}
 }
 
 // SetGap sets the number of pad bytes inserted after every allocation
@@ -156,14 +192,22 @@ func (a *Allocator) SetGap(gap uint32) { a.gap = gap }
 
 // Alloc reserves size bytes and returns the address of the allocation.
 // It panics if the heap region is exhausted (a programming error in a
-// workload generator, not a runtime condition).
+// workload generator, not a runtime condition). The bounds check is done in
+// 64-bit arithmetic: addr+size near the top of the address space must report
+// exhaustion, not wrap past the limit and hand out aliased memory.
 func (a *Allocator) Alloc(size uint32) uint32 {
-	addr := (a.next + a.align - 1) &^ (a.align - 1)
-	if addr+size > a.limit {
-		panic(fmt.Sprintf("mem: heap exhausted (next=%#x size=%d limit=%#x)", a.next, size, a.limit))
+	addr := (uint64(a.next) + uint64(a.align) - 1) &^ (uint64(a.align) - 1)
+	if addr+uint64(size) > uint64(a.limit) {
+		panic(fmt.Sprintf("mem: heap exhausted (next=%#x size=%d limit=%#x); reduce the workload scale", a.next, size, a.limit))
 	}
-	a.next = addr + size + a.gap
-	return addr
+	next := addr + uint64(size) + uint64(a.gap)
+	if next > uint64(a.limit) {
+		// The gap pushed past the limit: clamp so a.next itself cannot wrap.
+		// Any further non-trivial Alloc still panics above.
+		next = uint64(a.limit)
+	}
+	a.next = uint32(next)
+	return uint32(addr)
 }
 
 // Used reports how many bytes of heap have been consumed.

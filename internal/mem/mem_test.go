@@ -125,6 +125,91 @@ func TestBadAlignmentPanics(t *testing.T) {
 	NewAllocator(New(), 1024, 3)
 }
 
+// TestAllocNoWraparound is the boundary regression for the 64-bit bounds
+// check: a size that pushes addr+size past 2^32 must panic, not wrap around
+// the address space and "succeed" with an aliased allocation (the old
+// uint32 comparison let Alloc(0xFFFF_FFF0) through).
+func TestAllocNoWraparound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: allocation wraps the 32-bit address space")
+		}
+	}()
+	a := NewAllocator(New(), StackBase-HeapBase, 4)
+	a.Alloc(0xFFFF_FFF0)
+}
+
+// TestAllocExactFit verifies the boundary itself is usable: a region can be
+// filled to the last byte, and the next allocation fails.
+func TestAllocExactFit(t *testing.T) {
+	a := NewAllocator(New(), 64, 4)
+	if got := a.Alloc(64); got != HeapBase {
+		t.Fatalf("exact-fit alloc = %#x, want %#x", got, HeapBase)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic after exhausting the region")
+		}
+	}()
+	a.Alloc(1)
+}
+
+// TestNewAllocatorCapacityOverrun verifies an oversized heap fails at
+// construction with a clear message instead of wrapping limit past 2^32
+// (the old HeapBase+capacity could wrap to a tiny limit) or silently
+// overlapping the stack region.
+func TestNewAllocatorCapacityOverrun(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: capacity overruns the stack region")
+		}
+	}()
+	NewAllocator(New(), 0xF000_0000, 4)
+}
+
+func TestClone(t *testing.T) {
+	m := New()
+	m.Write32(HeapBase, 0x11111111)
+	m.Write32(StackBase-64, 0x22222222)
+	c := m.Clone()
+	if got := c.Read32(HeapBase); got != 0x11111111 {
+		t.Fatalf("clone Read32 = %#x, want 0x11111111", got)
+	}
+	c.Write32(HeapBase, 0x33333333)
+	if got := m.Read32(HeapBase); got != 0x11111111 {
+		t.Fatalf("mutating clone changed master: %#x", got)
+	}
+	m.Write32(StackBase-64, 0x44444444)
+	if got := c.Read32(StackBase - 64); got != 0x22222222 {
+		t.Fatalf("mutating master changed clone: %#x", got)
+	}
+	if c.Footprint() != m.Footprint() {
+		t.Fatalf("footprints differ: %d vs %d", c.Footprint(), m.Footprint())
+	}
+}
+
+// TestPageCacheSeesLateCreation covers the last-page-cache hazard: a read of
+// an unwritten page must not cache the miss, or a later write (which creates
+// the page) would be invisible to reads through the stale cache entry.
+func TestPageCacheSeesLateCreation(t *testing.T) {
+	m := New()
+	if got := m.Read8(HeapBase); got != 0 {
+		t.Fatalf("unwritten read = %#x", got)
+	}
+	m.Write8(HeapBase, 0xab)
+	if got := m.Read8(HeapBase); got != 0xab {
+		t.Fatalf("read after write through cached miss = %#x, want 0xab", got)
+	}
+	// Alternate between two pages to exercise cache replacement.
+	m.Write8(GlobalBase, 0xcd)
+	if got := m.Read8(HeapBase); got != 0xab {
+		t.Fatalf("page switch lost data: %#x", got)
+	}
+	if got := m.Read8(GlobalBase); got != 0xcd {
+		t.Fatalf("page switch lost data: %#x", got)
+	}
+}
+
 func TestFootprint(t *testing.T) {
 	m := New()
 	if m.Footprint() != 0 {

@@ -26,19 +26,23 @@
 // # Telemetry gauges
 //
 // MSHROccupancyAt and PFQueueOccupancyAt report how many MSHR / prefetch
-// queue entries are still outstanding at a given cycle. They scan the
-// occupancy heaps without popping, so telemetry reads never perturb the
-// simulation (timestamps are not monotone under the dependence-graph CPU
-// model, making destructive reads unsafe). Interval boundaries reach the
-// feedback unit through Feedback.EvictionAt with the eviction's cycle, which
-// timestamps each telemetry.IntervalRecord.
+// queue entries are still outstanding at a given cycle. The simulation's own
+// heaps are never perturbed by telemetry reads (timestamps are not monotone
+// under the dependence-graph CPU model, making destructive reads of them
+// unsafe): when tracing is enabled (EnableOccupancyGauges), dedicated gauge
+// heaps record every fill completion and are retired incrementally at each
+// query — telemetry queries come from interval boundaries, whose timestamps
+// (Feedback.LastEvictionAt) are monotone — so each query costs O(log n)
+// amortized instead of an O(n) scan. Without tracing the gauges are off and
+// the occupancy calls fall back to a non-destructive scan. Interval
+// boundaries reach the feedback unit through Feedback.EvictionAt with the
+// eviction's cycle, which timestamps each telemetry.IntervalRecord.
 package memsys
 
 import (
-	"container/heap"
-
 	"ldsprefetch/internal/cache"
 	"ldsprefetch/internal/dram"
+	"ldsprefetch/internal/heap64"
 	"ldsprefetch/internal/mem"
 	"ldsprefetch/internal/prefetch"
 )
@@ -59,13 +63,15 @@ type Config struct {
 	MSHRs int
 	// PrefetchQueue bounds outstanding prefetch requests per core.
 	PrefetchQueue int
-	// PrefetchCongestionLimit drops prefetches when this many requests are
-	// outstanding at the DRAM controller — prefetches are the lowest-
+	// PrefetchCongestionLimit drops prefetches when this many of this
+	// core's prefetch fills are outstanding — prefetches are the lowest-
 	// priority customer of the memory system, and real prefetch queues
 	// drop on congestion rather than stall. Keeping the limit below the
 	// request-buffer size reserves headroom for demand requests,
-	// approximating demand-first scheduling (0 selects half the request
-	// buffer).
+	// approximating demand-first scheduling. The zero value (as left by
+	// DefaultConfig) selects half the DRAM request buffer; New resolves
+	// it via ResolvePrefetchCongestionLimit, so Config() always reports
+	// the effective limit.
 	PrefetchCongestionLimit int
 	// IntervalLen is the feedback interval in L2 evictions (paper: 8192).
 	IntervalLen int
@@ -203,8 +209,17 @@ type MemSys struct {
 	fb   *prefetch.Feedback
 	pfs  []Prefetcher
 
-	mshr    int64Heap // demand-miss fill completions
-	pfQueue int64Heap // prefetch fill completions
+	mshr    heap64.Heap // demand-miss fill completions
+	pfQueue heap64.Heap // prefetch fill completions
+
+	// Occupancy gauges (telemetry only; see EnableOccupancyGauges). They
+	// mirror every fill completion pushed to mshr/pfQueue but are retired
+	// only by the monotone telemetry queries, so force-popped entries (an
+	// MSHR-full wait consumes the earliest fill before it completes) stay
+	// visible until they actually finish.
+	gauges    bool
+	mshrGauge heap64.Heap
+	pfGauge   heap64.Heap
 
 	// Fair-share prefetch rate limiting: each core may inject prefetches
 	// at no more than its share of the bus rate (1 block per
@@ -220,8 +235,10 @@ type MemSys struct {
 	lastDemand int64
 
 	// evictedBy tracks blocks recently displaced by prefetch fills, for
-	// pollution attribution (FDP baseline). Bounded ring-of-map.
-	evictedBy map[uint32]prefetch.Source
+	// pollution attribution (FDP baseline). Bounded ring over a fixed
+	// open-addressed table (srcMap): exact map semantics, zero steady-state
+	// allocation.
+	evictedBy *srcMap
 	evictRing []uint32
 	evictPos  int
 	sideBuf   map[uint32]sideLine // NoPollution oracle
@@ -243,22 +260,29 @@ type MemSys struct {
 	OnPrefetchOutcome func(blockAddr uint32, src prefetch.Source, used bool)
 }
 
-type int64Heap []int64
-
-func (h int64Heap) Len() int            { return len(h) }
-func (h int64Heap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h int64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *int64Heap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *int64Heap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// ResolvePrefetchCongestionLimit is the single place the congestion limit's
+// zero value is interpreted: an explicit positive limit is used unchanged,
+// and 0 — the value DefaultConfig leaves and an unset JSON field decodes to —
+// selects half the DRAM request buffer, reserving the other half for demand
+// requests. Every construction path (sim.Named setups, raw server-submitted
+// Setups, the CLIs) funnels through New, which applies this resolution, so an
+// explicit 0 and an omitted field always behave identically.
+func ResolvePrefetchCongestionLimit(limit, requestBuffer int) int {
+	if limit > 0 {
+		return limit
+	}
+	if requestBuffer <= 0 {
+		// Unbounded request buffer: fall back to half the paper's
+		// single-core buffer (32).
+		return 16
+	}
+	return requestBuffer / 2
 }
 
 // New builds a core memory system over memory image mm and controller ctrl.
 func New(cfg Config, mm *mem.Memory, ctrl *dram.Controller) *MemSys {
+	cfg.PrefetchCongestionLimit = ResolvePrefetchCongestionLimit(
+		cfg.PrefetchCongestionLimit, ctrl.Config().RequestBuffer)
 	ms := &MemSys{
 		cfg:       cfg,
 		mm:        mm,
@@ -266,7 +290,7 @@ func New(cfg Config, mm *mem.Memory, ctrl *dram.Controller) *MemSys {
 		l1:        cache.New("L1D", cfg.L1Size, cfg.L1Ways, cfg.BlockSize),
 		l2:        cache.New("L2", cfg.L2Size, cfg.L2Ways, cfg.BlockSize),
 		fb:        prefetch.NewFeedback(cfg.IntervalLen),
-		evictedBy: make(map[uint32]prefetch.Source),
+		evictedBy: newSrcMap(13), // 8192 slots: 2x the 4096-entry ring
 		evictRing: make([]uint32, 4096),
 		blockBuf:  make([]byte, cfg.BlockSize),
 	}
@@ -311,11 +335,11 @@ func (ms *MemSys) notifyFill(ev FillEvent) {
 func (ms *MemSys) recordEvictedBy(blk uint32, src prefetch.Source) {
 	old := ms.evictRing[ms.evictPos]
 	if old != 0 {
-		delete(ms.evictedBy, old)
+		ms.evictedBy.del(old)
 	}
 	ms.evictRing[ms.evictPos] = blk
 	ms.evictPos = (ms.evictPos + 1) % len(ms.evictRing)
-	ms.evictedBy[blk] = src
+	ms.evictedBy.put(blk, src)
 }
 
 // handleVictim performs eviction bookkeeping for a displaced L2 line:
@@ -465,9 +489,9 @@ func (ms *MemSys) Access(addr, pc uint32, isLoad, lds bool, now int64) int64 {
 	// True L2 demand miss.
 	ms.stats.L2DemandMisses++
 	ms.fb.DemandMisses.Inc()
-	if src, ok := ms.evictedBy[blk]; ok {
+	if src, ok := ms.evictedBy.get(blk); ok {
 		ms.fb.Sources[src].Pollution.Inc()
-		delete(ms.evictedBy, blk)
+		ms.evictedBy.del(blk)
 	}
 
 	if ms.cfg.IdealLDS && lds && isLoad {
@@ -492,16 +516,17 @@ func (ms *MemSys) Access(addr, pc uint32, isLoad, lds bool, now int64) int64 {
 	// MSHR capacity: a demand miss with all MSHRs busy waits for the
 	// earliest outstanding fill.
 	reqT := t2 + ms.cfg.L2Lat
-	for len(ms.mshr) > 0 && ms.mshr[0] <= reqT {
-		heap.Pop(&ms.mshr)
-	}
+	ms.mshr.PopLE(reqT)
 	if ms.cfg.MSHRs > 0 && len(ms.mshr) >= ms.cfg.MSHRs {
-		earliest := heap.Pop(&ms.mshr).(int64)
+		earliest := ms.mshr.Pop()
 		reqT = max64(reqT, earliest)
 	}
 
 	ready := ms.ctrl.Access(blk, reqT, true)
-	heap.Push(&ms.mshr, ready)
+	ms.mshr.Push(ready)
+	if ms.gauges {
+		ms.mshrGauge.Push(ready)
+	}
 
 	nl, victim, had := ms.l2.Insert(blk)
 	if had {
@@ -557,18 +582,13 @@ func (ms *MemSys) Issue(r prefetch.Request) {
 		ms.stats.PrefDropFilter++
 		return
 	}
-	for len(ms.pfQueue) > 0 && ms.pfQueue[0] <= r.When {
-		heap.Pop(&ms.pfQueue)
-	}
+	ms.pfQueue.PopLE(r.When)
 	// Prefetches are dropped, never queued, under congestion. Two signals:
 	// this core's own in-flight prefetch occupancy (the congestion limit,
-	// default 16 — the deep cascade bound), and the hard prefetch-queue
-	// capacity (128). Both are per-core, so one core's recursive CDP
-	// cascades cannot starve another core's prefetchers.
+	// resolved at construction — the deep cascade bound), and the hard
+	// prefetch-queue capacity (128). Both are per-core, so one core's
+	// recursive CDP cascades cannot starve another core's prefetchers.
 	limit := ms.cfg.PrefetchCongestionLimit
-	if limit == 0 {
-		limit = 32
-	}
 	if len(ms.pfQueue) >= limit ||
 		(ms.cfg.PrefetchQueue > 0 && len(ms.pfQueue) >= ms.cfg.PrefetchQueue) {
 		ms.stats.PrefDropQueue++
@@ -607,7 +627,10 @@ func (ms *MemSys) Issue(r prefetch.Request) {
 
 	ms.fb.Sources[r.Src].Issued.Inc()
 	ready := ms.ctrl.Access(blk, r.When, false)
-	heap.Push(&ms.pfQueue, ready)
+	ms.pfQueue.Push(ready)
+	if ms.gauges {
+		ms.pfGauge.Push(ready)
+	}
 
 	if ms.sideBuf != nil {
 		ms.sideBuf[blk] = sideLine{readyAt: ready, pg: r.PG, src: r.Src}
@@ -667,24 +690,37 @@ func (ms *MemSys) FlushAccounting() {
 // BlockSize returns the cache block size in bytes.
 func (ms *MemSys) BlockSize() int { return ms.cfg.BlockSize }
 
+// EnableOccupancyGauges switches MSHROccupancyAt/PFQueueOccupancyAt to
+// incrementally maintained gauge heaps: every fill completion is mirrored
+// into a gauge, and queries retire completed entries destructively — O(log n)
+// amortized per query instead of an O(n) scan, and exact even for fills the
+// simulation force-popped early (an MSHR-full wait consumes the earliest
+// entry before it completes). The gauges require monotone query timestamps
+// (telemetry queries at interval boundaries are: Feedback.LastEvictionAt
+// never decreases) and grow with every fill until queried, so they are off
+// unless a telemetry recorder is attached. Call before the run starts.
+func (ms *MemSys) EnableOccupancyGauges() { ms.gauges = true }
+
 // MSHROccupancyAt returns the number of demand-miss fills still outstanding
-// at cycle t. The count is non-destructive (the lazily-retired heap is
-// scanned, not popped) so telemetry reads cannot perturb MSHR arbitration.
-func (ms *MemSys) MSHROccupancyAt(t int64) int { return countAfter(ms.mshr, t) }
+// at cycle t. The simulation's own MSHR heap is never popped by telemetry
+// reads, so tracing cannot perturb MSHR arbitration. Queries must be
+// monotone in t when gauges are enabled (see EnableOccupancyGauges).
+func (ms *MemSys) MSHROccupancyAt(t int64) int {
+	if ms.gauges {
+		ms.mshrGauge.PopLE(t)
+		return ms.mshrGauge.Len()
+	}
+	return ms.mshr.CountGreater(t)
+}
 
 // PFQueueOccupancyAt returns the number of prefetch fills still outstanding
-// at cycle t, non-destructively.
-func (ms *MemSys) PFQueueOccupancyAt(t int64) int { return countAfter(ms.pfQueue, t) }
-
-// countAfter counts heap entries strictly greater than t.
-func countAfter(h int64Heap, t int64) int {
-	n := 0
-	for _, v := range h {
-		if v > t {
-			n++
-		}
+// at cycle t, under the same contract as MSHROccupancyAt.
+func (ms *MemSys) PFQueueOccupancyAt(t int64) int {
+	if ms.gauges {
+		ms.pfGauge.PopLE(t)
+		return ms.pfGauge.Len()
 	}
-	return n
+	return ms.pfQueue.CountGreater(t)
 }
 
 func max64(a, b int64) int64 {

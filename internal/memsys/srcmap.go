@@ -1,0 +1,95 @@
+package memsys
+
+import "ldsprefetch/internal/prefetch"
+
+// srcMap is a fixed-capacity open-addressed hash table from block address to
+// prefetch.Source, replacing the map[uint32]prefetch.Source the pollution
+// tracker used to churn on every prefetch eviction and demand miss. It has
+// exact map semantics (put overwrites, delete removes precisely one key) —
+// required because pollution attribution feeds the throttling heuristics, so
+// a lossy scheme would change simulated behavior — but allocates once at
+// construction and never again.
+//
+// Address 0 is the empty-slot sentinel. That is safe here: keys are L2 block
+// addresses, and every simulated region (globals, heap, stack) sits well
+// above 0 — the caller's eviction ring already relies on the same convention.
+// Deletion uses backward-shift (Knuth 6.4 algorithm R) rather than
+// tombstones, so lookup cost stays bounded regardless of churn.
+type srcMap struct {
+	keys  []uint32
+	vals  []prefetch.Source
+	mask  uint32
+	shift uint
+}
+
+// newSrcMap returns a table with 1<<logSize slots. Callers size it at least
+// 2x their maximum live key count to keep probe chains short.
+func newSrcMap(logSize uint) *srcMap {
+	return &srcMap{
+		keys:  make([]uint32, 1<<logSize),
+		vals:  make([]prefetch.Source, 1<<logSize),
+		mask:  uint32(1<<logSize) - 1,
+		shift: 32 - logSize,
+	}
+}
+
+// home returns the preferred slot of key (Fibonacci hashing: block addresses
+// are highly regular, so the multiplicative mix keeps clusters short).
+func (m *srcMap) home(key uint32) uint32 {
+	return (key * 2654435761) >> m.shift
+}
+
+// get returns the source recorded for key.
+func (m *srcMap) get(key uint32) (prefetch.Source, bool) {
+	for i := m.home(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			return m.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// put records src for key, overwriting any previous entry.
+func (m *srcMap) put(key uint32, src prefetch.Source) {
+	for i := m.home(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key, 0:
+			m.keys[i] = key
+			m.vals[i] = src
+			return
+		}
+	}
+}
+
+// del removes key if present.
+func (m *srcMap) del(key uint32) {
+	i := m.home(key)
+	for ; m.keys[i] != key; i = (i + 1) & m.mask {
+		if m.keys[i] == 0 {
+			return
+		}
+	}
+	// Backward-shift deletion: pull later entries of the probe chain into the
+	// hole unless they already sit at or after their home slot within the
+	// remaining chain.
+	for {
+		m.keys[i] = 0
+		j := i
+		for {
+			j = (j + 1) & m.mask
+			if m.keys[j] == 0 {
+				return
+			}
+			h := m.home(m.keys[j])
+			// Move keys[j] into the hole at i unless its home lies cyclically
+			// within (i, j] — moving it would place it before its home.
+			if (j-h)&m.mask >= (j-i)&m.mask {
+				m.keys[i], m.vals[i] = m.keys[j], m.vals[j]
+				i = j
+				break
+			}
+		}
+	}
+}

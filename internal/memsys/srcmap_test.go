@@ -1,0 +1,69 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+
+	"ldsprefetch/internal/prefetch"
+)
+
+// TestSrcMapMatchesMap drives the open-addressed table and a reference Go map
+// with the same randomized put/get/del workload (keyed like real block
+// addresses, with heavy reuse to force collisions, overwrites, and
+// backward-shift deletions) and asserts they never disagree.
+func TestSrcMapMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := newSrcMap(8) // 256 slots; keep it small to force clustering
+	ref := make(map[uint32]prefetch.Source)
+	key := func() uint32 {
+		// Block-aligned addresses in a narrow heap window: adjacent keys
+		// hash near each other, exercising probe chains.
+		return 0x1000_0000 + uint32(rng.Intn(200))<<6
+	}
+	for op := 0; op < 200000; op++ {
+		k := key()
+		switch rng.Intn(3) {
+		case 0:
+			if len(ref) < 120 { // stay under 50% load like the caller does
+				src := prefetch.Source(1 + rng.Intn(int(prefetch.NumSources)-1))
+				m.put(k, src)
+				ref[k] = src
+			}
+		case 1:
+			m.del(k)
+			delete(ref, k)
+		case 2:
+			got, ok := m.get(k)
+			want, wantOK := ref[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("op %d: get(%#x) = %v,%v; reference %v,%v", op, k, got, ok, want, wantOK)
+			}
+		}
+	}
+	// Final full sweep: every reference entry must be present, and counts
+	// must agree (no ghosts left behind by backward-shift deletion).
+	live := 0
+	for _, k := range m.keys {
+		if k != 0 {
+			live++
+		}
+	}
+	if live != len(ref) {
+		t.Fatalf("table holds %d entries, reference %d", live, len(ref))
+	}
+	for k, want := range ref {
+		if got, ok := m.get(k); !ok || got != want {
+			t.Fatalf("final get(%#x) = %v,%v, want %v", k, got, ok, want)
+		}
+	}
+}
+
+func TestSrcMapDelAbsent(t *testing.T) {
+	m := newSrcMap(4)
+	m.del(0x1000_0040) // empty table: no-op
+	m.put(0x1000_0040, prefetch.SrcStream)
+	m.del(0x2000_0040) // absent key: no-op
+	if got, ok := m.get(0x1000_0040); !ok || got != prefetch.SrcStream {
+		t.Fatalf("entry lost by unrelated delete: %v,%v", got, ok)
+	}
+}

@@ -49,10 +49,12 @@ type Server struct {
 	metrics *jobs.Metrics
 	slots   chan struct{}
 
-	mu     sync.Mutex
-	sweeps map[string]*sweep
-	order  []string
-	nextID int
+	mu       sync.Mutex
+	sweeps   map[string]*sweep
+	order    []string
+	nextID   int
+	draining bool
+	running  sync.WaitGroup // one count per in-flight runSweep goroutine
 }
 
 // New builds a Server, opening the result store when configured.
@@ -155,7 +157,21 @@ func (s *Server) validate(req *sweepRequest) error {
 	return nil
 }
 
-// submit registers and launches a sweep.
+// Drain stops accepting new sweeps and blocks until every in-flight sweep
+// has finished. Result-store writes are synchronous — each object is written
+// atomically and its journal line appended before the job completes — so
+// when Drain returns, every journal and object write of every accepted sweep
+// is on disk. Status and report endpoints keep working while draining, so a
+// supervisor can still collect results after sending SIGTERM.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.running.Wait()
+}
+
+// submit registers and launches a sweep. It returns nil when the server is
+// draining (the caller reports 503).
 func (s *Server) submit(req sweepRequest) *sweep {
 	sched := jobs.New(jobs.Config{
 		Slots:   s.slots,
@@ -176,12 +192,22 @@ func (s *Server) submit(req sweepRequest) *sweep {
 		sw.kind = "experiment"
 	}
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
 	s.nextID++
 	sw.id = "s" + strconv.Itoa(s.nextID)
 	s.sweeps[sw.id] = sw
 	s.order = append(s.order, sw.id)
+	// Register with the drain group under the same lock that checked the
+	// draining flag, so Drain cannot slip between check and Add.
+	s.running.Add(1)
 	s.mu.Unlock()
-	go s.runSweep(sw)
+	go func() {
+		defer s.running.Done()
+		s.runSweep(sw)
+	}()
 	return sw
 }
 
@@ -430,6 +456,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sw := s.submit(req)
+	if sw == nil {
+		httpError(w, http.StatusServiceUnavailable, "server is draining; not accepting new sweeps")
+		return
+	}
 	writeJSON(w, http.StatusAccepted, sw.status())
 }
 

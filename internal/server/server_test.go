@@ -263,6 +263,68 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+// TestGracefulDrain verifies the SIGTERM path's server half: Drain stops new
+// submissions with 503, blocks until in-flight sweeps finish, and leaves the
+// status/report endpoints (and the already-accepted sweep's results) intact.
+func TestGracefulDrain(t *testing.T) {
+	srv, err := New(Options{Workers: 4, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	st := postSweep(t, ts, sweepRequest{
+		Benchmarks: []string{"mst"}, Configs: []string{"none"}, Scale: 0.05, Seed: 5})
+
+	done := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(done)
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("Drain did not return within 2m")
+	}
+	// Drain returning means the accepted sweep ran to completion.
+	got := fetchText(t, ts, "/api/v1/sweeps/"+st.ID, http.StatusOK)
+	var after sweepStatus
+	if err := json.Unmarshal([]byte(got), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.State != "done" {
+		t.Fatalf("sweep state after Drain = %q, want done", after.State)
+	}
+	// Reports survive the drain.
+	text := fetchText(t, ts, "/api/v1/sweeps/"+st.ID+"/report?format=text", http.StatusOK)
+	if !strings.Contains(text, "mst") {
+		t.Fatalf("post-drain report missing results:\n%s", text)
+	}
+	// Journal was flushed: the store holds the sweep's completion record.
+	journal := fetchText(t, ts, "/metrics", http.StatusOK)
+	if v := metricValue(t, journal, "ldsjobs_jobs_completed_total"); v == 0 {
+		t.Fatal("no jobs recorded as completed after drain")
+	}
+
+	// New submissions are refused with 503.
+	body, _ := json.Marshal(sweepRequest{
+		Benchmarks: []string{"mst"}, Configs: []string{"none"}, Scale: 0.05, Seed: 5})
+	resp, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503 (%s)", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "draining") {
+		t.Fatalf("503 body does not explain the drain: %s", b)
+	}
+}
+
 func TestLookupAndListEndpoints(t *testing.T) {
 	ts := newTestServer(t, Options{})
 	fetchText(t, ts, "/api/v1/sweeps/s999", http.StatusNotFound)

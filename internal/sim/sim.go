@@ -163,11 +163,6 @@ func blockShift(n int) uint {
 
 // assemble builds one core's full stack for benchmark bench, sharing ctrl.
 func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (*system, error) {
-	g, err := workload.Get(bench)
-	if err != nil {
-		return nil, err
-	}
-
 	mcfg := memsys.DefaultConfig()
 	if s.MemCfg != nil {
 		mcfg = *s.MemCfg
@@ -175,7 +170,10 @@ func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (
 	if mcfg.BlockSize <= 0 || mcfg.BlockSize&(mcfg.BlockSize-1) != 0 {
 		return nil, fmt.Errorf("sim: block size %d is not a positive power of two", mcfg.BlockSize)
 	}
-	tr := g.Build(p)
+	tr, err := workload.BuildShared(bench, p)
+	if err != nil {
+		return nil, err
+	}
 	if s.IntervalLen > 0 {
 		mcfg.IntervalLen = s.IntervalLen
 	}
@@ -299,7 +297,10 @@ func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (
 
 	sys := &system{bench: bench, ms: ms, core: cpu.NewCore(ccfg, ms, tr), trace: trc}
 	if rec != nil {
-		// All gauge hooks are pure reads: tracing must not perturb the run.
+		// All gauge hooks are pure reads of simulation state: tracing must not
+		// perturb the run. Occupancy gauges are separate mirror heaps, so
+		// retiring them on query leaves MSHR/prefetch-queue arbitration alone.
+		ms.EnableOccupancyGauges()
 		c := sys.core
 		rec.Retired = func() int64 { return c.Result().Retired }
 		rec.BusTransfers = func() int64 { return ctrl.Transfers }

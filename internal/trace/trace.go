@@ -86,6 +86,15 @@ type Trace struct {
 	Mem  *mem.Memory
 }
 
+// Clone returns a copy of the trace that shares the immutable op sequence but
+// owns a private memory image. Timing replay mutates Mem (the traced stores
+// are re-applied in program order) while never writing Ops, so repeated or
+// concurrent replays of one functional build each take a clone; see
+// workload.BuildShared.
+func (t *Trace) Clone() *Trace {
+	return &Trace{Name: t.Name, Ops: t.Ops, Mem: t.Mem.Clone()}
+}
+
 // Builder incrementally constructs a Trace. Workload generators use it both
 // to emit ops and to perform the loads/stores functionally against the
 // simulated memory, so that the emitted address stream and the memory image

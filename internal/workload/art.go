@@ -31,9 +31,9 @@ func buildArt(p Params) *trace.Trace {
 	epochs := scaled(4, p)
 
 	bd := newBuild("art", p, 16<<20, 2)
-	wBase := bd.alloc.Alloc(uint32(4 * weights))
-	f1Base := bd.alloc.Alloc(uint32(4 * f1))
-	protoTable := bd.alloc.Alloc(uint32(4 * nProtos))
+	wBase := bd.alloc.Alloc(sizeU32(weights, 4))
+	f1Base := bd.alloc.Alloc(sizeU32(f1, 4))
+	protoTable := bd.alloc.Alloc(sizeU32(nProtos, 4))
 	protos := bd.seqAlloc(nProtos, 64)
 	m := bd.b.Mem()
 	for i := 0; i < weights; i++ {

@@ -40,7 +40,7 @@ func buildAstar(p Params) *trace.Trace {
 	pops := scaled(50000, p)
 
 	bd := newBuild("astar", p, 16<<20, 6)
-	grid := bd.alloc.Alloc(uint32(side * side * 16))
+	grid := bd.alloc.Alloc(sizeU32(side*side, 16))
 	open := bd.shuffledAlloc(nOpen, 16)
 	m := bd.b.Mem()
 

@@ -33,8 +33,8 @@ func buildGCC(p Params) *trace.Trace {
 	passes := scaled(6, p)
 
 	bd := newBuild("gcc", p, 16<<20, 2)
-	insnBase := bd.alloc.Alloc(uint32(4 * insns))
-	bitmapBase := bd.alloc.Alloc(uint32(insns / 2))
+	insnBase := bd.alloc.Alloc(sizeU32(insns, 4))
+	bitmapBase := bd.alloc.Alloc(sizeU32(insns/2, 1))
 	rtx := bd.shuffledAlloc(nRtx, 16)
 	m := bd.b.Mem()
 	for i, r := range rtx {

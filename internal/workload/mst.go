@@ -45,7 +45,7 @@ func buildMST(p Params) *trace.Trace {
 	// Bucket array of head pointers, then nodes and payloads. Nodes are
 	// allocated in shuffled order so chain neighbours are not address
 	// neighbours (no stream-prefetchable pattern).
-	buckets := bd.alloc.Alloc(uint32(4 * nBuckets))
+	buckets := bd.alloc.Alloc(sizeU32(nBuckets, 4))
 	payloads := bd.seqAlloc(2*nNodes, payloadSize)
 	nodes := bd.shuffledAlloc(nNodes, nodeSize)
 

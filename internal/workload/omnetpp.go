@@ -41,7 +41,7 @@ func buildOmnetpp(p Params) *trace.Trace {
 	modules := bd.seqAlloc(nModules, 32)
 	payloads := bd.seqAlloc(nMsgs, 16)
 	msgs := bd.shuffledAlloc(nMsgs, 32)
-	heapArr := bd.alloc.Alloc(uint32(4 * (nMsgs + 2)))
+	heapArr := bd.alloc.Alloc(sizeU32(nMsgs+2, 4))
 	m := bd.b.Mem()
 
 	for i, mg := range msgs {

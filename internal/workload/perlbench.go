@@ -38,7 +38,7 @@ func buildPerlbench(p Params) *trace.Trace {
 	lookups := scaled(55000, p)
 
 	bd := newBuild("perlbench", p, 16<<20, 6)
-	buckets := bd.alloc.Alloc(uint32(4 * nBuckets))
+	buckets := bd.alloc.Alloc(sizeU32(nBuckets, 4))
 	strs := bd.shuffledAlloc(nEntries, 64)
 	entries := bd.shuffledAlloc(nEntries, 16)
 	m := bd.b.Mem()

@@ -37,8 +37,8 @@ func buildPfast(p Params) *trace.Trace {
 	queries := scaled(30000, p)
 
 	bd := newBuild("pfast", p, 16<<20, 6)
-	genome := bd.alloc.Alloc(uint32(4 * genomeWords))
-	buckets := bd.alloc.Alloc(uint32(4 * nBuckets))
+	genome := bd.alloc.Alloc(sizeU32(genomeWords, 4))
+	buckets := bd.alloc.Alloc(sizeU32(nBuckets, 4))
 	scores := bd.alloc.Alloc(uint32(4 * 1024))
 	seeds := bd.shuffledAlloc(nSeeds, 16)
 	m := bd.b.Mem()

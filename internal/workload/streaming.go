@@ -36,7 +36,7 @@ func init() {
 			words := scaledData(700000, p) // 2.8 MB state vector
 			sweeps := scaled(5, p)
 			bd := newBuild("libquantum", p, 8<<20, 4)
-			base := bd.alloc.Alloc(uint32(4 * words))
+			base := bd.alloc.Alloc(sizeU32(words, 4))
 			for s := 0; s < sweeps; s++ {
 				streamSweep(bd.b, 0x20_0100, base, words, true, 0x20_0104)
 			}
@@ -50,9 +50,9 @@ func init() {
 			words := scaledData(300000, p) // 3 × 1.2 MB fields
 			sweeps := scaled(5, p)
 			bd := newBuild("gemsfdtd", p, 16<<20, 4)
-			a := bd.alloc.Alloc(uint32(4 * words))
-			bb := bd.alloc.Alloc(uint32(4 * words))
-			c := bd.alloc.Alloc(uint32(4 * words))
+			a := bd.alloc.Alloc(sizeU32(words, 4))
+			bb := bd.alloc.Alloc(sizeU32(words, 4))
+			c := bd.alloc.Alloc(sizeU32(words, 4))
 			b := bd.b
 			for s := 0; s < sweeps; s++ {
 				for i := 0; i < words; i += 16 {
@@ -78,7 +78,7 @@ func init() {
 			}
 			blocks := scaled(9000, p)
 			bd := newBuild("h264ref", p, 16<<20, 3)
-			frame := bd.alloc.Alloc(uint32(4 * side * side))
+			frame := bd.alloc.Alloc(sizeU32(side*side, 4))
 			b := bd.b
 			for k := 0; k < blocks; k++ {
 				// Search window: row bursts at a random origin.
@@ -101,7 +101,7 @@ func init() {
 			cells := scaledData(200000, p) // 3.2 MB lattice (16 B cells)
 			sweeps := scaled(5, p)
 			bd := newBuild("lbm", p, 16<<20, 4)
-			lattice := bd.alloc.Alloc(uint32(16 * cells))
+			lattice := bd.alloc.Alloc(sizeU32(cells, 16))
 			b := bd.b
 			for s := 0; s < sweeps; s++ {
 				for i := 0; i < cells; i++ {

@@ -102,6 +102,85 @@ func TestTrainDiffersFromRef(t *testing.T) {
 	}
 }
 
+// TestBuildSharedMatchesBuild verifies the build cache is invisible: a cached
+// clone is op-for-op identical to a fresh build and carries its own memory
+// image, so one caller's replay (which re-applies stores) cannot leak into
+// the next caller's clone.
+func TestBuildSharedMatchesBuild(t *testing.T) {
+	g, _ := Get("mst")
+	fresh := g.Build(Test())
+	a, err := BuildShared("mst", Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ops) != len(fresh.Ops) {
+		t.Fatalf("op counts differ: shared %d vs fresh %d", len(a.Ops), len(fresh.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != fresh.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a.Ops[i], fresh.Ops[i])
+		}
+	}
+
+	// Corrupt a traced location in clone a; clone b must still see the
+	// pre-run image.
+	var addr uint32
+	for i := range a.Ops {
+		if a.Ops[i].Kind != trace.Compute && a.Ops[i].Addr != 0 {
+			addr = a.Ops[i].Addr
+			break
+		}
+	}
+	if addr == 0 {
+		t.Fatal("no memory op in trace")
+	}
+	want := fresh.Mem.Read32(addr)
+	a.Mem.Write32(addr, want+0x5a5a)
+	b, err := BuildShared("mst", Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Mem.Read32(addr); got != want {
+		t.Fatalf("second clone sees %#x at %#x after first clone was mutated, want %#x", got, addr, want)
+	}
+}
+
+func TestBuildSharedUnknown(t *testing.T) {
+	if _, err := BuildShared("nosuch", Test()); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestSizeU32(t *testing.T) {
+	if got := sizeU32(16, 4); got != 64 {
+		t.Fatalf("sizeU32(16,4) = %d, want 64", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: 2^30 x 8 bytes overflows uint32")
+		}
+	}()
+	sizeU32(1<<30, 8)
+}
+
+func TestScaledOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overflowing scale")
+		}
+	}()
+	scaled(1<<40, Params{Scale: 1 << 20})
+}
+
+func TestScaledDataOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overflowing data scale")
+		}
+	}()
+	scaledData(1<<20, Params{Scale: 1e14})
+}
+
 // TestPointerFieldsAreHeapAddresses spot-checks that LDS loads dereference
 // real heap pointers (the property CDP's compare-bits matcher relies on).
 func TestPointerFieldsAreHeapAddresses(t *testing.T) {

@@ -32,6 +32,16 @@ import (
 // Input selects a workload input set (size scale and seed).
 type Input = workload.Params
 
+// BenchScale is the workload input scale the repository's benchmark harness
+// runs at (bench_test.go and cmd/ldsbench). It is deliberately reduced from
+// the reference input's 1.0 so the full artifact set completes in minutes,
+// while staying large enough that working sets exceed the 1 MB L2 and the
+// measured code paths (MSHR waits, prefetch drops, feedback throttling) are
+// all exercised. Benchmark trajectories are only comparable at the same
+// scale; BENCH_PR3.json records this value in its metadata so drift is
+// detectable.
+const BenchScale = 0.15
+
 // RefInput returns the reference (measurement) input.
 func RefInput() Input { return workload.Ref() }
 
@@ -89,11 +99,11 @@ func RunMulti(benches []string, in Input, s Setup) (MultiResult, error) {
 // ProfileHints runs the paper's compiler profiling pass for bench on the
 // given input and returns the beneficial-PG hint table.
 func ProfileHints(bench string, in Input) *HintTable {
-	g, err := workload.Get(bench)
+	tr, err := workload.BuildShared(bench, in)
 	if err != nil {
 		return core.NewHintTable()
 	}
-	prof := profiling.Collect(g.Build(in), memsys.DefaultConfig(), cpu.DefaultConfig())
+	prof := profiling.Collect(tr, memsys.DefaultConfig(), cpu.DefaultConfig())
 	return prof.Hints(0)
 }
 
