@@ -1,5 +1,5 @@
 // Command ldsbench runs the repository's benchmark set through
-// testing.Benchmark and emits a versioned JSON artifact (BENCH_PR3.json by
+// testing.Benchmark and emits a versioned JSON artifact (BENCH_PR4.json by
 // default) recording ns/op, B/op, allocs/op, and simulated-accesses/sec per
 // benchmark, plus the metadata needed to compare runs over time (schema
 // version, workload scale, Go version). CI runs the short set on every push
@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	ldsbench                      # short set -> BENCH_PR3.json
+//	ldsbench                      # short set -> BENCH_PR4.json
 //	ldsbench -set full -out -     # every paper artifact, JSON to stdout
 package main
 
@@ -68,9 +68,12 @@ type artifact struct {
 	GOARCH        string   `json:"goarch"`
 	Benchmarks    []result `json:"benchmarks"`
 	// BaselinePR2 holds the same benchmarks measured at the PR 2 tree
-	// (identical scale and seed), the reference point for this PR's
-	// trajectory. Bytes/op was not recorded for the micro-benchmarks then.
+	// (identical scale and seed), the oldest trajectory reference point.
+	// Bytes/op was not recorded for the micro-benchmarks then.
 	BaselinePR2 []baselineRow `json:"baseline_pr2"`
+	// BaselinePR3 holds the PR 3 tree's measurements (identical scale and
+	// seed), the immediate reference point for this PR's trajectory.
+	BaselinePR3 []baselineRow `json:"baseline_pr3"`
 }
 
 // baselinePR2 are the PR 2 measurements at scale 0.15, seed 1.
@@ -78,6 +81,16 @@ var baselinePR2 = []baselineRow{
 	{Name: "fig1", NsPerOp: 6377296818, BytesPerOp: 4235411768, AllocsPerOp: 9368510},
 	{Name: "sim_baseline", NsPerOp: 68499840, AllocsPerOp: 87171},
 	{Name: "sim_cdp", NsPerOp: 94685156, AllocsPerOp: 202660},
+}
+
+// baselinePR3 are the PR 3 measurements at scale 0.15, seed 1 (the short
+// set, from BENCH_PR3.json).
+var baselinePR3 = []baselineRow{
+	{Name: "sim_baseline", NsPerOp: 40852883, BytesPerOp: 5510066, AllocsPerOp: 63},
+	{Name: "sim_cdp", NsPerOp: 77302891, BytesPerOp: 5510306, AllocsPerOp: 66},
+	{Name: "sim_proposal", NsPerOp: 101329219, BytesPerOp: 8991337, AllocsPerOp: 138},
+	{Name: "profile_pass", NsPerOp: 66922797, BytesPerOp: 5488729, AllocsPerOp: 74},
+	{Name: "fig1", NsPerOp: 4037539291, BytesPerOp: 1254730712, AllocsPerOp: 54232},
 }
 
 func experimentBench(id string) func(b *testing.B, in lds.Input) {
@@ -162,7 +175,7 @@ func benchmarks() []benchmark {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output path (- for stdout)")
+	out := flag.String("out", "BENCH_PR4.json", "output path (- for stdout)")
 	set := flag.String("set", "short", "benchmark set: short (CI) or full (every artifact)")
 	scale := flag.Float64("scale", lds.BenchScale, "workload input scale")
 	seed := flag.Int64("seed", 1, "workload input seed")
@@ -183,6 +196,7 @@ func main() {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		BaselinePR2:   baselinePR2,
+		BaselinePR3:   baselinePR3,
 	}
 	for _, bm := range benchmarks() {
 		if *set == "short" && !bm.short {

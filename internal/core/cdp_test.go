@@ -15,6 +15,7 @@ func (s *sink) Issue(r prefetch.Request) { s.reqs = append(s.reqs, r) }
 // block builds a 64-byte block with the given words.
 func block(words map[int]uint32) []byte {
 	b := make([]byte, 64)
+	//ldslint:ordered disjoint word slots written into a fresh buffer; order-independent
 	for w, v := range words {
 		binary.LittleEndian.PutUint32(b[w*4:], v)
 	}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"ldsprefetch/internal/dram"
@@ -57,7 +58,12 @@ func Sec3Impl(c *Context) Report {
 			for _, pc := range hints.PCs() {
 				pcs[pc] = true
 			}
+			var pcList []uint32
 			for pc := range pcs {
+				pcList = append(pcList, pc)
+			}
+			sort.Slice(pcList, func(x, y int) bool { return pcList[x] < pcList[y] })
+			for _, pc := range pcList {
 				a, _ := g.Hints.Lookup(pc)
 				bv, _ := hints.Lookup(pc)
 				for off := -16; off < 16; off++ {

@@ -257,7 +257,8 @@ func NewManifest(experiment string, scale float64, seed int64, parallel int) Man
 		GitDescribe:   gitDescribe(),
 		Command:       os.Args,
 		SchemaVersion: TraceSchemaVersion,
-		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		//ldslint:walltime provenance timestamp only; never enters results, reports, or cache keys
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 }
 

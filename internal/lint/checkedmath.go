@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CheckedMath flags raw arithmetic on 32-bit simulated addresses and
+// allocation sizes in the workload generators. Every pointer field a
+// generator writes is a uint32 virtual address; at large -scale, unchecked
+// products (count × element size) and sums silently wrap and hand back
+// aliased structures — the exact class of bug PR 3 hardened with the checked
+// Alloc/NewAllocator/scaled/sizeU32 helpers. The rule keeps new generator
+// code on those helpers:
+//
+//   - uint32 multiplication with a non-constant result is flagged (use
+//     sizeU32 or widen to uint64 and bounds-check);
+//   - uint32 addition of two non-constant operands is flagged (a small
+//     constant field offset on a checked allocation is fine; adding two
+//     variables is where wraparound hides);
+//   - a uint32(…) conversion of a non-constant integer sum or product
+//     computed in another type is flagged (the silent-truncation cast);
+//   - += and *= on uint32 values follow the same rules.
+//
+// Justified exceptions carry `//ldslint:checkedmath <reason>`.
+var CheckedMath = &Analyzer{
+	Name:  "checkedmath",
+	Doc:   "flags raw +/* and truncating conversions on uint32 addresses/sizes in workload generators; use the checked Alloc/sizeU32-style helpers or annotate //ldslint:checkedmath <reason>",
+	Scope: suffixScope("internal/workload"),
+	Run:   runCheckedMath,
+}
+
+func runCheckedMath(pass *Pass) error {
+	report := func(n ast.Node, format string, args ...any) {
+		if !pass.Suppressed(n, "checkedmath") {
+			pass.Reportf(n.Pos(), format, args...)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if pass.isConst(n) || !pass.isUint32(n) {
+					return true
+				}
+				switch n.Op {
+				case token.MUL:
+					report(n, "unchecked uint32 multiplication %s can wrap the 32-bit address space at large -scale; use sizeU32 or compute in uint64 with a bounds check", types.ExprString(n))
+				case token.ADD:
+					if !pass.isConst(n.X) && !pass.isConst(n.Y) {
+						report(n, "unchecked uint32 addition %s can wrap the 32-bit address space; use a checked helper (Alloc/elemAddr) or compute in uint64 with a bounds check", types.ExprString(n))
+					}
+				}
+			case *ast.CallExpr:
+				if len(n.Args) != 1 || !pass.isConversion(n) || !pass.isUint32(n) {
+					return true
+				}
+				arg, ok := ast.Unparen(n.Args[0]).(*ast.BinaryExpr)
+				if !ok || (arg.Op != token.ADD && arg.Op != token.MUL) {
+					return true
+				}
+				if pass.isConst(arg) || pass.isUint32(arg) || !pass.isInteger(arg) {
+					return true
+				}
+				report(n, "conversion %s silently truncates an unchecked arithmetic result; use sizeU32 or bounds-check in uint64 before converting", types.ExprString(n))
+			case *ast.AssignStmt:
+				if len(n.Lhs) != 1 || len(n.Rhs) != 1 || !pass.isUint32(n.Lhs[0]) {
+					return true
+				}
+				switch n.Tok {
+				case token.MUL_ASSIGN:
+					report(n, "unchecked uint32 *= can wrap the 32-bit address space; use sizeU32 or compute in uint64 with a bounds check")
+				case token.ADD_ASSIGN:
+					if !pass.isConst(n.Rhs[0]) {
+						report(n, "unchecked uint32 += with a non-constant operand can wrap the 32-bit address space; use a checked helper or compute in uint64 with a bounds check")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isConst reports whether e has a compile-time constant value.
+func (p *Pass) isConst(e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isUint32 reports whether e's static type is (a named type whose underlying
+// type is) uint32.
+func (p *Pass) isUint32(e ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint32
+}
+
+// isInteger reports whether e's static type is any integer type.
+func (p *Pass) isInteger(e ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isConversion reports whether call is a type conversion rather than a
+// function call.
+func (p *Pass) isConversion(call *ast.CallExpr) bool {
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/lint"
+	"ldsprefetch/internal/lint/linttest"
+)
+
+func TestCheckedMath(t *testing.T) {
+	linttest.Run(t, lint.CheckedMath, "testdata/checkedmath/workload",
+		"ldsprefetch/internal/workload", nil)
+}
+
+func TestCheckedMathOutOfScope(t *testing.T) {
+	linttest.Run(t, lint.CheckedMath, "testdata/checkedmath/outofscope",
+		"ldsprefetch/internal/memsys", nil)
+}

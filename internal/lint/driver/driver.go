@@ -1,0 +1,147 @@
+// Package driver loads type-checked packages and runs the internal/lint
+// analyzer suite over them. It provides the two loading paths cmd/ldslint
+// needs:
+//
+//   - a standalone loader (golist.go) that resolves package patterns and
+//     export data through `go list -export`, for `ldslint ./...`;
+//   - an implementation of the cmd/go vet tool protocol (unitchecker.go),
+//     for `go vet -vettool=$(which ldslint) ./...`.
+//
+// Both paths type-check from export data with the standard library's gc
+// importer, so the driver — like the analyzers — has no dependency outside
+// the standard library (the build environment vendors no modules).
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+
+	"ldsprefetch/internal/lint"
+)
+
+// Diagnostic is one finding with its resolved source position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	PkgPath string // normalized import path (test variants stripped)
+}
+
+// InScope reports whether any of the analyzers applies to the normalized
+// import path. Drivers use it to skip type-checking packages no analyzer
+// cares about.
+func InScope(pkgPath string, analyzers []*lint.Analyzer) bool {
+	for _, a := range analyzers {
+		if a.Scope == nil || a.Scope(pkgPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze runs every in-scope analyzer over pkg, returning diagnostics
+// sorted by position.
+func Analyze(pkg *Package, analyzers []*lint.Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.Scope != nil && !a.Scope(pkg.PkgPath) {
+			continue
+		}
+		pass := &lint.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			PkgPath:   pkg.PkgPath,
+			Report: func(d lint.Diagnostic) {
+				out = append(out, Diagnostic{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			out = append(out, Diagnostic{
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("internal error: %v", err),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// check parses and type-checks one package from source files, resolving
+// imports through export data.
+func check(fset *token.FileSet, pkgPath, goVersion string, goFiles []string,
+	importMap, exportFiles map[string]string) (*Package, error) {
+
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", pkgPath)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if eff, ok := importMap[path]; ok && eff != "" {
+			path = eff
+		}
+		file := exportFiles[path]
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: goVersion,
+	}
+	norm := lint.NormalizePkgPath(pkgPath)
+	pkg, err := conf.Check(norm, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Files: files, Pkg: pkg, Info: info, PkgPath: norm}, nil
+}

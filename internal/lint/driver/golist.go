@@ -1,0 +1,128 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"ldsprefetch/internal/lint"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ GoVersion string }
+}
+
+// LoadAndAnalyze resolves the patterns with `go list -test -deps -export`,
+// type-checks every matched non-dependency package that any analyzer is
+// scoped to, and runs the analyzers. Test files are linted too, via the test
+// variants go list synthesizes ("p [p.test]" and "p_test"), under the same
+// rules as the package they test.
+func LoadAndAnalyze(patterns []string, analyzers []*lint.Analyzer) ([]Diagnostic, error) {
+	args := append([]string{
+		"list", "-test", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,CgoFiles,ImportMap,Export,DepOnly,Standard,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+
+	var pkgs []*listPackage
+	exports := map[string]string{} // import path -> export data file
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	// A package with tests appears twice: plain ("p") and as the
+	// test-augmented variant ("p [p.test]") whose GoFiles are a superset.
+	// Analyze the augmented variant only, so each file is checked once.
+	augmented := map[string]bool{}
+	for _, p := range pkgs {
+		if base, ok := ownTestVariant(p.ImportPath); ok && base != p.ImportPath {
+			augmented[base] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || p.Name == "" ||
+			strings.HasSuffix(p.ImportPath, ".test") || len(p.CgoFiles) > 0 {
+			continue
+		}
+		if _, ok := ownTestVariant(p.ImportPath); !ok {
+			continue // a foreign test variant such as "q [p.test]"
+		}
+		if augmented[p.ImportPath] {
+			continue // superseded by "p [p.test]"
+		}
+		norm := lint.NormalizePkgPath(p.ImportPath)
+		if !InScope(norm, analyzers) {
+			continue
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(p.Dir, f)
+			}
+			files = append(files, f)
+		}
+		pkg, err := check(fset, p.ImportPath, goVersion, files, p.ImportMap, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		diags = append(diags, Analyze(pkg, analyzers)...)
+	}
+	return diags, nil
+}
+
+// ownTestVariant classifies an import path from `go list -test` output: it
+// returns the plain package path and true for a plain package ("p"), its
+// internal test variant ("p [p.test]"), or its external test package
+// ("p_test [p.test]"); it returns false for a foreign variant like
+// "q [p.test]" (a dependency rebuilt against p's test files), which would
+// double-report q's diagnostics.
+func ownTestVariant(importPath string) (base string, ok bool) {
+	i := strings.Index(importPath, " [")
+	if i < 0 {
+		return importPath, true
+	}
+	base = importPath[:i]
+	inner := strings.TrimSuffix(importPath[i+2:], "]")
+	if inner == strings.TrimSuffix(base, "_test")+".test" {
+		return base, true
+	}
+	return "", false
+}

@@ -1,0 +1,88 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+
+	"ldsprefetch/internal/lint"
+)
+
+// VetConfig mirrors the JSON configuration cmd/go writes for each vet
+// invocation (cmd/go/internal/work.vetConfig). The go command runs the
+// -vettool binary once per package with the path to this file as the sole
+// positional argument.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitchecker implements the vet tool protocol for one package: it reads the
+// config, writes the (empty — the suite records no cross-package facts) vetx
+// output so cmd/go can cache the action, and unless the invocation is
+// facts-only, type-checks the package from the export data cmd/go supplies
+// and runs the analyzers. Diagnostics go to w; the returned exit code
+// follows cmd/vet: 0 clean, 1 tool failure, 2 diagnostics reported.
+func Unitchecker(w io.Writer, cfgFile string, analyzers []*lint.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(w, "ldslint: %v\n", err)
+		return 1
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(w, "ldslint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		// cmd/go caches the vet action on this file's existence; an empty
+		// facts file is valid for a suite that exports none.
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(w, "ldslint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only dependency pass: nothing to compute
+	}
+	norm := lint.NormalizePkgPath(cfg.ImportPath)
+	if !InScope(norm, analyzers) {
+		return 0
+	}
+	pkg, err := check(token.NewFileSet(), cfg.ImportPath, cfg.GoVersion,
+		cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "ldslint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags := Analyze(pkg, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

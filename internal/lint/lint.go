@@ -1,0 +1,212 @@
+// Package lint is the repository's determinism-and-simulation-safety
+// analyzer suite. It mechanizes the invariants the reproduction's headline
+// results rest on — bit-identical, replayable simulations — so that hazards
+// are caught at vet time instead of at golden-test-diff time.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape (Analyzer, Pass, Diagnostic) but is self-contained on the standard
+// library: the build environment vendors no third-party modules, and the
+// analyzers need nothing beyond go/ast and go/types. cmd/ldslint provides
+// both a standalone driver and a `go vet -vettool` implementation; see
+// LINTING.md for the catalog, the rationale per rule, the annotation escape
+// hatch, and how to add an analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags. It is also
+	// the annotation marker: a `//ldslint:<name> <reason>` comment on the
+	// flagged line (or the line above) suppresses the diagnostic.
+	Name string
+	// Doc is a one-paragraph description shown by `ldslint -help`.
+	Doc string
+	// Scope reports whether the analyzer applies to the package with the
+	// given import path. Drivers normalize test-variant paths (the
+	// "p [p.test]" and "p_test" forms) before calling it.
+	Scope func(pkgPath string) bool
+	// Run analyzes one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the normalized import path (see NormalizePkgPath).
+	PkgPath string
+	Report  func(Diagnostic)
+
+	// suppressions indexes //ldslint: comments by file line, built lazily.
+	suppressions map[*token.File]map[int]*annotation
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// annotation is one parsed //ldslint:<marker> comment.
+type annotation struct {
+	marker string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+// annotationPrefix introduces a suppression comment.
+const annotationPrefix = "//ldslint:"
+
+// parseAnnotation parses c as an //ldslint: comment, returning nil when it
+// is not one. A trailing "// want ..." part (the linttest expectation
+// syntax) is not part of the reason.
+func parseAnnotation(c *ast.Comment) *annotation {
+	text := c.Text
+	if !strings.HasPrefix(text, annotationPrefix) {
+		return nil
+	}
+	rest := text[len(annotationPrefix):]
+	marker := rest
+	reason := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		marker, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	if i := strings.Index(reason, "// want"); i >= 0 {
+		reason = strings.TrimSpace(reason[:i])
+	}
+	return &annotation{marker: marker, reason: reason, pos: c.Pos()}
+}
+
+// buildSuppressions indexes every //ldslint: comment in the pass's files.
+func (p *Pass) buildSuppressions() {
+	p.suppressions = make(map[*token.File]map[int]*annotation)
+	for _, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		lines := p.suppressions[tf]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a := parseAnnotation(c)
+				if a == nil {
+					continue
+				}
+				if lines == nil {
+					lines = make(map[int]*annotation)
+					p.suppressions[tf] = lines
+				}
+				lines[tf.Line(c.Pos())] = a
+			}
+		}
+	}
+}
+
+// Suppressed reports whether a diagnostic at n's position is suppressed by a
+// `//ldslint:<marker> <reason>` annotation on the same line or the line
+// immediately above. An annotation without a reason does not count as a
+// justification: Suppressed still returns true for the original diagnostic,
+// but reports the annotation itself, so the build fails until a reason is
+// written.
+func (p *Pass) Suppressed(n ast.Node, marker string) bool {
+	if p.suppressions == nil {
+		p.buildSuppressions()
+	}
+	tf := p.Fset.File(n.Pos())
+	if tf == nil {
+		return false
+	}
+	lines := p.suppressions[tf]
+	if lines == nil {
+		return false
+	}
+	line := tf.Line(n.Pos())
+	for _, l := range [2]int{line, line - 1} {
+		a := lines[l]
+		if a == nil || a.marker != marker {
+			continue
+		}
+		if a.reason == "" && !a.used {
+			a.used = true
+			p.Reportf(a.pos, "ldslint:%s annotation requires a reason (\"//ldslint:%s <why this is safe>\")", marker, marker)
+		}
+		return true
+	}
+	return false
+}
+
+// NormalizePkgPath maps test-variant import paths to the path of the package
+// under test: "p [p.test]" (internal test variant) and "p_test" (external
+// test package) both normalize to "p". Scope functions see normalized paths
+// so test files are linted under the same rules as the package they test.
+func NormalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// suffixScope returns a Scope function matching import paths that equal one
+// of the suffixes or end in "/"+suffix. Matching on suffixes keeps the scope
+// independent of the module path, which also lets analyzer tests use
+// synthetic paths.
+func suffixScope(suffixes ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, s := range suffixes {
+			if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// simCorePackages are the packages whose execution is inside the simulated
+// machine or on the serialization path of its results: nondeterminism here
+// changes reported numbers or cache keys.
+var simCorePackages = []string{
+	"internal/sim",
+	"internal/memsys",
+	"internal/dram",
+	"internal/cpu",
+	"internal/cache",
+	"internal/prefetch",
+	"internal/stream",
+	"internal/telemetry",
+	"internal/mem",
+	"internal/workload",
+}
+
+// determinismPackages extends the simulation core with the packages that
+// aggregate, profile, and serialize its results.
+var determinismPackages = append([]string{
+	"internal/exp",
+	"internal/profiling",
+	"internal/core",
+}, simCorePackages...)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		WallTime,
+		CheckedMath,
+		ObserverEffect,
+	}
+}

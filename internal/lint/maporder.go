@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for … range` over a map inside the simulation core and the
+// report/serialization packages. Go randomizes map iteration order, so any
+// map range whose body has side effects — writes to simulated memory,
+// hint-table construction, report rows, hook invocations — is a determinism
+// hazard: the golden reports and the content-addressed result cache both
+// require bit-identical replays.
+//
+// Two forms are exempt without annotation:
+//
+//   - iterating a sorted key slice and indexing the map (`for _, k := range
+//     keys { v := m[k] … }`) — not a map range at all;
+//   - the collect-then-sort idiom, a range whose body only appends keys or
+//     values to local slices that are sorted (a sort.* or slices.* call)
+//     before any other use.
+//
+// Anything else needs `//ldslint:ordered <reason>` with a justification for
+// why iteration order cannot reach simulated state, reports, or cache keys
+// (e.g. commutative integer aggregation).
+var MapOrder = &Analyzer{
+	Name:  "maporder",
+	Doc:   "flags range-over-map in determinism-sensitive packages; iterate sorted keys, use the collect-then-sort idiom, or annotate //ldslint:ordered <reason>",
+	Scope: suffixScope(determinismPackages...),
+	Run:   runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		lists := stmtLists(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectThenSort(pass, rs, lists) {
+				return true
+			}
+			if pass.Suppressed(rs, "ordered") {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s iterates in nondeterministic order; iterate sorted keys, collect-then-sort, or annotate //ldslint:ordered <reason>",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtPos locates a statement inside its enclosing statement list.
+type stmtPos struct {
+	list []ast.Stmt
+	idx  int
+}
+
+// stmtLists indexes every statement in f by its enclosing statement list, so
+// exemption checks can look at what follows a loop.
+func stmtLists(f *ast.File) map[ast.Stmt]stmtPos {
+	out := make(map[ast.Stmt]stmtPos)
+	record := func(list []ast.Stmt) {
+		for i, s := range list {
+			out[s] = stmtPos{list, i}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			record(n.List)
+		case *ast.CaseClause:
+			record(n.Body)
+		case *ast.CommClause:
+			record(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// collectThenSort reports whether rs is the benign key/value-collection
+// idiom: every statement in the body is `x = append(x, …)` into a local
+// slice, and the first later statement in the same block that mentions any
+// such slice is a sort.* or slices.* call. Iteration order is then erased by
+// the sort before the collected data is used.
+func collectThenSort(pass *Pass, rs *ast.RangeStmt, lists map[ast.Stmt]stmtPos) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	targets := make(map[types.Object]bool)
+	for _, s := range rs.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") {
+			return false
+		}
+		obj := pass.TypesInfo.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+	}
+	pos, ok := lists[ast.Stmt(rs)]
+	if !ok {
+		return false
+	}
+	for _, s := range pos.list[pos.idx+1:] {
+		if !mentionsAny(pass, s, targets) {
+			continue
+		}
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return packageOf(pass, sel) == "sort" || packageOf(pass, sel) == "slices"
+	}
+	return false
+}
+
+// mentionsAny reports whether n's subtree uses any of the given objects.
+func mentionsAny(pass *Pass, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && objs[pass.TypesInfo.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltin reports whether fun denotes the named builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// packageOf returns the import path of the package a selector qualifies, or
+// "" when the selector is not a package-qualified identifier.
+func packageOf(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/lint"
+	"ldsprefetch/internal/lint/linttest"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/maporder/simcore",
+		"ldsprefetch/internal/memsys",
+		map[string]string{"sort": "testdata/fakestd/sort"})
+}
+
+func TestMapOrderOutOfScope(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/maporder/outofscope",
+		"ldsprefetch/internal/jobs", nil)
+}
+
+// Test files are linted under the rules of the package they test: the
+// normalized path of an external test package strips the _test suffix.
+func TestMapOrderCoversTestVariants(t *testing.T) {
+	for in, want := range map[string]string{
+		"ldsprefetch/internal/profiling [ldsprefetch/internal/profiling.test]":      "ldsprefetch/internal/profiling",
+		"ldsprefetch/internal/profiling_test [ldsprefetch/internal/profiling.test]": "ldsprefetch/internal/profiling",
+		"ldsprefetch/internal/exp": "ldsprefetch/internal/exp",
+	} { //ldslint:ordered test-table iteration; t.Errorf output order does not affect pass/fail
+		if got := lint.NormalizePkgPath(in); got != want {
+			t.Errorf("NormalizePkgPath(%q) = %q, want %q", in, got, want)
+		}
+		if !lint.MapOrder.Scope(lint.NormalizePkgPath(in)) {
+			t.Errorf("MapOrder should be in scope for %q", in)
+		}
+	}
+}

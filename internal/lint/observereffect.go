@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObserverEffect mechanizes the observability contract from OBSERVABILITY.md:
+// attaching tracing must cause zero behavioral change, so the gauge hooks
+// wired into a telemetry.Recorder must be pure reads of simulator state. The
+// analyzer finds every function literal bound to a field of
+// telemetry.Recorder — by direct assignment (rec.MSHR = func…) or composite
+// literal — and flags any write inside the hook body whose target is
+// declared outside the literal: assignments, ++/--, channel sends, and
+// delete(). Locals are fine; so are calls (a hook may call an explicitly
+// observation-safe accessor such as the destructively-retired occupancy
+// gauges, which exist only when telemetry is attached and are covered by the
+// observer-effect determinism tests).
+//
+// A justified exception carries `//ldslint:observereffect <reason>`.
+var ObserverEffect = &Analyzer{
+	Name:  "observereffect",
+	Doc:   "flags writes to non-local state inside telemetry.Recorder hook bodies; hooks must be pure reads (tracing attached => zero behavioral change), or annotate //ldslint:observereffect <reason>",
+	Scope: suffixScope(determinismPackages...),
+	Run:   runObserverEffect,
+}
+
+func runObserverEffect(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || !isRecorderField(pass, sel) {
+						continue
+					}
+					if lit, ok := n.Rhs[i].(*ast.FuncLit); ok {
+						checkHookBody(pass, lit)
+					}
+				}
+			case *ast.CompositeLit:
+				if !isRecorderType(pass.TypesInfo.TypeOf(n)) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if lit, ok := kv.Value.(*ast.FuncLit); ok {
+						checkHookBody(pass, lit)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRecorderField reports whether sel selects a field of telemetry.Recorder.
+func isRecorderField(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	return isRecorderType(s.Recv())
+}
+
+// isRecorderType reports whether t is (a pointer to) the named type Recorder
+// of the telemetry package.
+func isRecorderType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Recorder" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "telemetry" || strings.HasSuffix(path, "internal/telemetry")
+}
+
+// checkHookBody flags every write to non-local state inside the hook
+// literal, including inside nested literals (anything declared within the
+// outer literal counts as local).
+func checkHookBody(pass *Pass, lit *ast.FuncLit) {
+	local := func(e ast.Expr) bool {
+		id, ok := rootIdent(e)
+		if !ok {
+			return false // writes through call results etc.: treat as external
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return true // blank or unresolved; nothing to flag
+		}
+		return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+	}
+	report := func(n ast.Node, target ast.Expr) {
+		if !pass.Suppressed(n, "observereffect") {
+			pass.Reportf(n.Pos(),
+				"telemetry hook writes to %s, which outlives the hook; recorder hooks must be pure reads so that attaching tracing changes no simulated behavior",
+				types.ExprString(target))
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if !local(lhs) {
+					report(n, lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if !local(n.X) {
+				report(n, n.X)
+			}
+		case *ast.SendStmt:
+			if !local(n.Chan) {
+				report(n, n.Chan)
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "delete") && len(n.Args) == 2 && !local(n.Args[0]) {
+				report(n, n.Args[0])
+			}
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps selector/index/slice/star/paren chains to the base
+// identifier of an assignable expression.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}

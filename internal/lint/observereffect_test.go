@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/lint"
+	"ldsprefetch/internal/lint/linttest"
+)
+
+var fakeTelemetry = map[string]string{
+	"ldsprefetch/internal/telemetry": "testdata/fakestd/telemetry",
+}
+
+func TestObserverEffect(t *testing.T) {
+	linttest.Run(t, lint.ObserverEffect, "testdata/observereffect/sim",
+		"ldsprefetch/internal/sim", fakeTelemetry)
+}
+
+func TestObserverEffectOutOfScope(t *testing.T) {
+	linttest.Run(t, lint.ObserverEffect, "testdata/observereffect/outofscope",
+		"ldsprefetch/internal/jobs", fakeTelemetry)
+}

@@ -1,0 +1,11 @@
+// Test package for the checkedmath analyzer, checked under the pretend path
+// ldsprefetch/internal/memsys — address arithmetic there is tag math on
+// checked inputs, out of scope for this rule.
+package memsys
+
+var sink uint32
+
+func tagMath(a, b uint32) {
+	sink = a * b
+	sink = a + b
+}

@@ -1,0 +1,60 @@
+// Test package for the checkedmath analyzer, checked under the pretend path
+// ldsprefetch/internal/workload (the only in-scope package).
+package workload
+
+var sink uint32
+
+// Addr is a named uint32, as simulated addresses often are.
+type Addr uint32
+
+// Non-constant uint32 products fire: count x element-size is where
+// allocations wrap at large -scale.
+func products(n, elem uint32) {
+	sink = n * elem // want `unchecked uint32 multiplication`
+	sink = n * 4    // want `unchecked uint32 multiplication`
+	sink = 2 * 8    // constant: fine
+	var a Addr = 4
+	sink = uint32(a * a) // want `unchecked uint32 multiplication`
+}
+
+// uint32 sums fire only when both operands are non-constant: a small
+// constant field offset on a checked allocation is fine.
+func sums(base, off uint32) {
+	sink = base + off // want `unchecked uint32 addition`
+	sink = base + 12  // constant offset: fine
+	sink = 4 + base   // constant offset: fine
+}
+
+// Truncating conversions of arithmetic done in another integer type fire.
+func conversions(i, j int, n uint32) {
+	sink = uint32(4 * i)  // want `silently truncates`
+	sink = uint32(i + j)  // want `silently truncates`
+	sink = uint32(i)      // plain conversion of a bounded index: fine
+	sink = uint32(i % 16) // no +/*: fine
+	_ = int(n) * 8        // int arithmetic stays int: fine
+}
+
+// The blessed pattern — widen, check, convert the checked identifier — does
+// not fire.
+func checked(n int, elem uint32) uint32 {
+	s := uint64(n) * uint64(elem)
+	if n < 0 || s > 0xFFFF_FFFF {
+		panic("overflow")
+	}
+	return uint32(s)
+}
+
+// Compound assignments follow the same rules.
+func compound(a, b uint32) {
+	a += b // want `unchecked uint32 \+=`
+	a += 4 // constant: fine
+	a *= b // want `unchecked uint32 \*=`
+	sink = a
+}
+
+// An annotation with a reason suppresses; one without a reason is flagged.
+func annotated(n, elem uint32) {
+	//ldslint:checkedmath operands bounded by scaledData cap 1<<26
+	sink = n * elem
+	sink = n * elem //ldslint:checkedmath // want `annotation requires a reason`
+}

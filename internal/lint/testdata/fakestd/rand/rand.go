@@ -1,0 +1,24 @@
+// Package rand is a hermetic stand-in for stdlib math/rand in analyzer
+// tests: the walltime analyzer keys on the import path and selector names.
+package rand
+
+type Source interface{ Int63() int64 }
+
+type Rand struct{}
+
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+
+func (r *Rand) Intn(n int) int                     { return 0 }
+func (r *Rand) Int63() int64                       { return 0 }
+func (r *Rand) Float64() float64                   { return 0 }
+func (r *Rand) Perm(n int) []int                   { return nil }
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
+
+func Intn(n int) int                     { return 0 }
+func Int() int                           { return 0 }
+func Int63() int64                       { return 0 }
+func Float64() float64                   { return 0 }
+func Perm(n int) []int                   { return nil }
+func Shuffle(n int, swap func(i, j int)) {}
+func Seed(seed int64)                    {}

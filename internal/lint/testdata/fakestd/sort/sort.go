@@ -1,0 +1,7 @@
+// Package sort is a hermetic stand-in for stdlib sort in analyzer tests:
+// the maporder collect-then-sort exemption keys on the import path.
+package sort
+
+func Slice(x any, less func(i, j int) bool) {}
+func Strings(x []string)                    {}
+func Ints(x []int)                          {}

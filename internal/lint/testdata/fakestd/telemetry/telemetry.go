@@ -1,0 +1,20 @@
+// Package telemetry is a hermetic stand-in for ldsprefetch's telemetry
+// package in analyzer tests: the observereffect analyzer keys on the type
+// name Recorder in a package path ending internal/telemetry.
+package telemetry
+
+type Trace struct {
+	Intervals []int
+}
+
+type Recorder struct {
+	Trace *Trace
+
+	Retired      func() int64
+	BusTransfers func() int64
+	ReqBuf       func(t int64) int
+	PFBacklog    func(t int64) int64
+	MSHR         func(t int64) int
+	PFQueue      func(t int64) int
+	Level        func(src int) int8
+}

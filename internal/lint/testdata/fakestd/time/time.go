@@ -1,0 +1,29 @@
+// Package time is a hermetic stand-in for stdlib time in analyzer tests:
+// the walltime analyzer keys on the import path and selector names only.
+package time
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Millisecond Duration = 1e6
+	Second      Duration = 1e9
+)
+
+type Time struct{ ns int64 }
+
+func Now() Time                  { return Time{} }
+func Since(t Time) Duration      { return 0 }
+func Until(t Time) Duration      { return 0 }
+func Sleep(d Duration)           {}
+func After(d Duration) chan Time { return nil }
+func Tick(d Duration) chan Time  { return nil }
+
+type Timer struct{ C chan Time }
+
+func NewTimer(d Duration) *Timer            { return &Timer{} }
+func NewTicker(d Duration) *Timer           { return &Timer{} }
+func AfterFunc(d Duration, f func()) *Timer { return &Timer{} }
+func (t Time) Sub(u Time) Duration          { return 0 }
+func (t Time) Add(d Duration) Time          { return t }
+func (d Duration) Seconds() float64         { return 0 }

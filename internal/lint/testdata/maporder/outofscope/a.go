@@ -1,0 +1,12 @@
+// Test package for the maporder analyzer, checked under the pretend path
+// ldsprefetch/internal/jobs — orchestration code, out of scope, so the same
+// violating shape produces no diagnostics.
+package jobs
+
+var sink int
+
+func plainRange(m map[uint32]int) {
+	for k, v := range m {
+		sink += int(k) + v
+	}
+}

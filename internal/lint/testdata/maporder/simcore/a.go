@@ -1,0 +1,96 @@
+// Test package for the maporder analyzer, checked under the pretend path
+// ldsprefetch/internal/memsys (in scope).
+package memsys
+
+import "sort"
+
+var sink int
+
+// Plain map ranges with side effects fire.
+func plainRanges(m map[uint32]int) {
+	for k, v := range m { // want `range over map m iterates in nondeterministic order`
+		sink += int(k) + v
+	}
+	for range m { // want `nondeterministic order`
+		sink++
+	}
+}
+
+// Ranging a sorted key slice and indexing the map is the recommended fix and
+// does not fire.
+func sortedKeys(m map[uint32]int) {
+	keys := make([]uint32, 0, len(m))
+	for k := range m { // collect-then-sort: exempt
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		sink += m[k]
+	}
+}
+
+// Collecting values (not just keys) then sorting is exempt too.
+func collectValues(m map[string]int) {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	for _, v := range vals {
+		sink += v
+	}
+}
+
+// Collecting into a slice that is used before being sorted fires: the
+// pre-sort use observes map order.
+func collectUsedBeforeSort(m map[string]int) {
+	var vals []int
+	for _, v := range m { // want `nondeterministic order`
+		vals = append(vals, v)
+	}
+	sink = vals[0]
+	sort.Ints(vals)
+}
+
+// A body that does more than append fires even if a sort follows.
+func collectWithExtraWork(m map[string]int) {
+	var vals []int
+	for _, v := range m { // want `nondeterministic order`
+		vals = append(vals, v)
+		sink++
+	}
+	sort.Ints(vals)
+}
+
+// An annotation with a reason suppresses the diagnostic.
+func annotated(m map[uint32]int) {
+	total := 0
+	//ldslint:ordered commutative integer sum; order cannot reach results
+	for _, v := range m {
+		total += v
+	}
+	sink = total
+}
+
+// A same-line annotation with a reason also suppresses.
+func annotatedSameLine(m map[uint32]int) {
+	for _, v := range m { //ldslint:ordered commutative integer sum
+		sink += v
+	}
+}
+
+// An annotation without a reason is itself flagged (and suppresses the
+// underlying diagnostic so each site reports exactly once).
+func annotatedNoReason(m map[uint32]int) {
+	//ldslint:ordered // want `annotation requires a reason`
+	for _, v := range m {
+		sink += v
+	}
+}
+
+// Slice ranges never fire.
+func sliceRange(s []int) {
+	for _, v := range s {
+		sink += v
+	}
+}

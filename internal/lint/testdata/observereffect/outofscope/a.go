@@ -1,0 +1,14 @@
+// Test package for the observereffect analyzer, checked under the pretend
+// path ldsprefetch/internal/jobs (out of scope): no diagnostics.
+package jobs
+
+import "ldsprefetch/internal/telemetry"
+
+type state struct{ n int }
+
+func wire(rec *telemetry.Recorder, s *state) {
+	rec.Retired = func() int64 {
+		s.n++
+		return int64(s.n)
+	}
+}

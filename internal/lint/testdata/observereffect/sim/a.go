@@ -1,0 +1,78 @@
+// Test package for the observereffect analyzer, checked under the pretend
+// path ldsprefetch/internal/sim (in scope). The telemetry import resolves to
+// a hermetic fake under the same internal/telemetry path shape.
+package sim
+
+import "ldsprefetch/internal/telemetry"
+
+type memSys struct {
+	occ     int
+	retired int64
+	byBlock map[uint32]int
+	events  chan int
+}
+
+// Pure-read hooks are the contract and do not fire.
+func wirePure(rec *telemetry.Recorder, ms *memSys) {
+	rec.MSHR = func(t int64) int { return ms.occ }
+	rec.Retired = func() int64 { return ms.retired }
+}
+
+// Writes to captured simulator state inside a hook body fire.
+func wireMutating(rec *telemetry.Recorder, ms *memSys) {
+	rec.Retired = func() int64 {
+		ms.retired++ // want `telemetry hook writes to ms.retired`
+		return ms.retired
+	}
+	rec.MSHR = func(t int64) int {
+		ms.occ = 0                    // want `telemetry hook writes to ms.occ`
+		delete(ms.byBlock, uint32(t)) // want `telemetry hook writes to ms.byBlock`
+		ms.events <- 1                // want `telemetry hook writes to ms.events`
+		return ms.occ
+	}
+}
+
+// Hook literals inside a composite literal are checked too.
+func wireComposite(ms *memSys) *telemetry.Recorder {
+	return &telemetry.Recorder{
+		PFQueue: func(t int64) int {
+			ms.byBlock[0] = 1 // want `telemetry hook writes to ms.byBlock\[0\]`
+			return 0
+		},
+		ReqBuf: func(t int64) int { return ms.occ },
+	}
+}
+
+// Locals declared inside the hook (including in nested literals) are fine.
+func wireLocals(rec *telemetry.Recorder, ms *memSys) {
+	rec.PFBacklog = func(t int64) int64 {
+		total := int64(0)
+		for i := 0; i < ms.occ; i++ {
+			total++
+		}
+		f := func() { total *= 2 }
+		f()
+		return total
+	}
+}
+
+// Assigning a non-literal (a method value) is outside the analyzer's reach
+// by design and does not fire here.
+func wireMethodValue(rec *telemetry.Recorder, ms *memSys) {
+	rec.ReqBuf = ms.reqBufAt
+}
+
+func (ms *memSys) reqBufAt(t int64) int { return ms.occ }
+
+// An annotation with a reason suppresses; one without a reason is flagged.
+func wireAnnotated(rec *telemetry.Recorder, ms *memSys) {
+	rec.MSHR = func(t int64) int {
+		//ldslint:observereffect retires completed gauge entries; gauge exists only when tracing is attached
+		ms.occ = 0
+		return ms.occ
+	}
+	rec.PFQueue = func(t int64) int {
+		ms.occ = 1 //ldslint:observereffect // want `annotation requires a reason`
+		return ms.occ
+	}
+}

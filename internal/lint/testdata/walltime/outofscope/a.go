@@ -1,0 +1,15 @@
+// Test package for the walltime analyzer, checked under the pretend path
+// ldsprefetch/internal/jobs — the scheduler measures real latency on
+// purpose, so the same calls produce no diagnostics.
+package jobs
+
+import (
+	"math/rand"
+	"time"
+)
+
+func measure() int64 {
+	start := time.Now()
+	_ = rand.Intn(4)
+	return int64(time.Since(start))
+}

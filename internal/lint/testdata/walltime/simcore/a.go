@@ -1,0 +1,53 @@
+// Test package for the walltime analyzer, checked under the pretend path
+// ldsprefetch/internal/dram (in scope). The time and math/rand imports
+// resolve to hermetic fakes with the same import paths.
+package dram
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink int64
+
+// Wall-clock reads fire.
+func wallClock() {
+	t := time.Now()              // want `time.Now reads the wall clock`
+	sink = int64(time.Since(t))  // want `time.Since reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	_ = time.After(time.Second)  // want `time.After reads the wall clock`
+	_ = time.NewTimer(1)         // want `time.NewTimer reads the wall clock`
+}
+
+// Duration arithmetic and constants are fine: only observing real time is a
+// hazard.
+func durations(d time.Duration) float64 {
+	d += 3 * time.Millisecond
+	return d.Seconds()
+}
+
+// Process-global randomness fires.
+func globalRand() {
+	sink = int64(rand.Intn(8))         // want `rand.Intn draws from the process-global source`
+	sink += rand.Int63()               // want `rand.Int63 draws from the process-global source`
+	rand.Shuffle(4, func(i, j int) {}) // want `rand.Shuffle draws from the process-global source`
+	rand.Seed(42)                      // want `rand.Seed draws from the process-global source`
+}
+
+// Seeded generators are the required replacement and do not fire.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(4, func(i, j int) {})
+	return rng.Intn(8)
+}
+
+// An annotation with a reason suppresses the diagnostic.
+func annotated() time.Time {
+	//ldslint:walltime provenance timestamp only; never reaches report bytes
+	return time.Now()
+}
+
+// An annotation without a reason is itself flagged.
+func annotatedNoReason() time.Time {
+	return time.Now() //ldslint:walltime // want `annotation requires a reason`
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package-level time functions that read the process
+// clock or arm wall-clock timers. time.Duration values and arithmetic are
+// fine — only observing real time is a hazard.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// globalRandAllowed are the math/rand package-level functions that construct
+// explicitly seeded generators instead of drawing from the process-global
+// source. Everything else at package level (Intn, Float64, Perm, Shuffle,
+// Seed, …) is process-global and forbidden; methods on a *rand.Rand built
+// from a workload seed are fine and are the required replacement.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// WallTime forbids wall-clock reads and process-global randomness in the
+// determinism-sensitive packages. A time.Now inside the simulated pipeline
+// or a global rand.Intn in a workload generator leaks host state into
+// simulated timing, report bytes, or content-addressed cache keys, which
+// breaks the bit-identical-replay invariant silently: runs still "work",
+// they just stop being reproducible. Orchestration code (internal/jobs,
+// internal/server) measures real latency on purpose and is out of scope.
+var WallTime = &Analyzer{
+	Name:  "walltime",
+	Doc:   "forbids time.Now/timers and global math/rand in determinism-sensitive packages; use simulated cycles and seeded *rand.Rand, or annotate //ldslint:walltime <reason>",
+	Scope: suffixScope(determinismPackages...),
+	Run:   runWallTime,
+}
+
+func runWallTime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch packageOf(pass, sel) {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] && !pass.Suppressed(call, "walltime") {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock; simulated code must use cycle counts (annotate //ldslint:walltime <reason> if host time genuinely cannot reach results)",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandAllowed[sel.Sel.Name] && !pass.Suppressed(call, "walltime") {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the process-global source; use a seeded *rand.Rand (rand.New(rand.NewSource(seed))) so runs replay bit-identically",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/lint"
+	"ldsprefetch/internal/lint/linttest"
+)
+
+var fakeStd = map[string]string{
+	"time":      "testdata/fakestd/time",
+	"math/rand": "testdata/fakestd/rand",
+}
+
+func TestWallTime(t *testing.T) {
+	linttest.Run(t, lint.WallTime, "testdata/walltime/simcore",
+		"ldsprefetch/internal/dram", fakeStd)
+}
+
+func TestWallTimeOutOfScope(t *testing.T) {
+	linttest.Run(t, lint.WallTime, "testdata/walltime/outofscope",
+		"ldsprefetch/internal/jobs", fakeStd)
+}

@@ -57,6 +57,7 @@ func New() *Memory {
 // stores against its own clone.
 func (m *Memory) Clone() *Memory {
 	c := &Memory{pages: make(map[uint32][]byte, len(m.pages)), lastPN: noPage}
+	//ldslint:ordered deep copy keyed by page number; insertion order is unobservable
 	for pn, p := range m.pages {
 		cp := make([]byte, pageSize)
 		copy(cp, p)

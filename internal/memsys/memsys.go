@@ -40,6 +40,8 @@
 package memsys
 
 import (
+	"sort"
+
 	"ldsprefetch/internal/cache"
 	"ldsprefetch/internal/dram"
 	"ldsprefetch/internal/heap64"
@@ -678,8 +680,13 @@ func (ms *MemSys) FlushAccounting() {
 		}
 	})
 	if ms.sideBuf != nil {
-		for blk, sl := range ms.sideBuf {
-			_ = blk
+		blks := make([]uint32, 0, len(ms.sideBuf))
+		for blk := range ms.sideBuf {
+			blks = append(blks, blk)
+		}
+		sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+		for _, blk := range blks {
+			sl := ms.sideBuf[blk]
 			if sl.src == prefetch.SrcCDP && sl.pg != 0 && ms.OnPGUseless != nil {
 				ms.OnPGUseless(sl.pg)
 			}

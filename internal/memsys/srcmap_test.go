@@ -51,6 +51,7 @@ func TestSrcMapMatchesMap(t *testing.T) {
 	if live != len(ref) {
 		t.Fatalf("table holds %d entries, reference %d", live, len(ref))
 	}
+	//ldslint:ordered each key asserted independently against the reference map
 	for k, want := range ref {
 		if got, ok := m.get(k); !ok || got != want {
 			t.Fatalf("final get(%#x) = %v,%v, want %v", k, got, ok, want)

@@ -10,6 +10,7 @@ func TestSourceString(t *testing.T) {
 		SrcDemand: "demand", SrcStream: "stream", SrcCDP: "cdp",
 		SrcMarkov: "markov", SrcGHB: "ghb", SrcDBP: "dbp",
 	}
+	//ldslint:ordered each source asserted independently via t.Errorf
 	for s, w := range want {
 		if s.String() != w {
 			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)

@@ -141,6 +141,7 @@ func (o *informingObserver) OnAccess(ev memsys.AccessEvent) {
 
 // drain resolves all still-pending candidates as useless (end of run).
 func (o *informingObserver) drain() {
+	//ldslint:ordered commutative Useless increments per PG; order-independent
 	for _, pg := range o.candidates {
 		s := o.pgs[pg]
 		s.Useless++

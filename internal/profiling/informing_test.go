@@ -30,7 +30,11 @@ func TestInformingAgreesOnFig5Structure(t *testing.T) {
 	sim := Collect(g.Build(params), memsys.DefaultConfig(), cpu.DefaultConfig())
 	inf := CollectInforming(g.Build(params), memsys.DefaultConfig(), cpu.DefaultConfig())
 	const keyPC = 0x5_0104
-	for name, p := range map[string]*Profile{"simulated": sim, "informing": inf} {
+	for _, tc := range []struct {
+		name string
+		p    *Profile
+	}{{"simulated", sim}, {"informing", inf}} {
+		name, p := tc.name, tc.p
 		next := p.PGs[prefetch.MakePGKey(keyPC, 3)]
 		d1 := p.PGs[prefetch.MakePGKey(keyPC, 1)]
 		if next.Total() == 0 || d1.Total() == 0 {

@@ -93,7 +93,8 @@ func (p *Profile) Hints(threshold float64) *core.HintTable {
 		threshold = BeneficialThreshold
 	}
 	t := core.NewHintTable()
-	for pg, s := range p.PGs {
+	for _, pg := range p.sortedPGs() {
+		s := p.PGs[pg]
 		if s.Total() == 0 {
 			continue
 		}
@@ -120,15 +121,21 @@ func (p *Profile) CoarseHints(threshold float64) *core.HintTable {
 	}
 	type agg struct{ useful, useless int64 }
 	byPC := map[uint32]agg{}
-	for pg, s := range p.PGs {
-		a := byPC[pg.PC()]
+	var pcs []uint32
+	for _, pg := range p.sortedPGs() {
+		s := p.PGs[pg]
+		a, seen := byPC[pg.PC()]
+		if !seen {
+			pcs = append(pcs, pg.PC())
+		}
 		a.useful += s.Useful
 		a.useless += s.Useless
 		byPC[pg.PC()] = a
 	}
 	t := core.NewHintTable()
 	full := core.HintVec{Pos: ^uint32(0), Neg: ^uint32(0)}
-	for pc, a := range byPC {
+	for _, pc := range pcs {
+		a := byPC[pc]
 		if a.useful+a.useless == 0 {
 			continue
 		}
@@ -145,6 +152,7 @@ func (p *Profile) CoarseHints(threshold float64) *core.HintTable {
 // [0,25%), [25,50%), [50,75%), [75,100%].
 func (p *Profile) Histogram() [4]int {
 	var h [4]int
+	//ldslint:ordered commutative bin counters; iteration order cannot change the histogram
 	for _, s := range p.PGs {
 		if s.Total() == 0 {
 			continue
@@ -167,6 +175,7 @@ func (p *Profile) Histogram() [4]int {
 // BeneficialHarmful counts PGs on each side of the 50% boundary
 // (paper Figure 4).
 func (p *Profile) BeneficialHarmful() (beneficial, harmful int) {
+	//ldslint:ordered commutative counters on each side of the boundary; order-independent
 	for _, s := range p.PGs {
 		if s.Total() == 0 {
 			continue
@@ -178,6 +187,17 @@ func (p *Profile) BeneficialHarmful() (beneficial, harmful int) {
 		}
 	}
 	return
+}
+
+// sortedPGs returns the profile's pointer-group keys in ascending order, so
+// hint-table construction visits PGs deterministically.
+func (p *Profile) sortedPGs() []prefetch.PGKey {
+	keys := make([]prefetch.PGKey, 0, len(p.PGs))
+	for k := range p.PGs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // TopPGs returns the n most active pointer groups, most prefetches first

@@ -357,6 +357,7 @@ func (sys *system) result(setupName string, busTransfers int64) Result {
 		r.Used[src] = int64(fb.Sources[src].Used.Raw())
 	}
 	if sys.pgs != nil {
+		//ldslint:ordered commutative histogram bin counts; order-independent
 		for _, c := range sys.pgs {
 			t := c.useful + c.useless
 			if t == 0 {

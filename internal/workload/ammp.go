@@ -40,7 +40,7 @@ func buildAmmp(p Params) *trace.Trace {
 			m.Write32(a, atoms[i+1])
 		}
 		for k := 0; k < 8; k++ {
-			m.Write32(a+4+uint32(4*k), atoms[bd.rng.Intn(nAtoms)])
+			m.Write32(wordAddr(a+4, k), atoms[bd.rng.Intn(nAtoms)])
 		}
 		m.Write32(a+36, uint32(i))
 		m.Write32(a+40, uint32(bd.rng.Intn(1<<12)))
@@ -56,8 +56,7 @@ func buildAmmp(p Params) *trace.Trace {
 			b.Load(ammpPCCoord, atom+48, dep, true)
 			// Dereference two of the eight neighbours.
 			for k := 0; k < 2; k++ {
-				slot := uint32(4 + 4*bd.rng.Intn(8))
-				nb, ndep := b.Load(ammpPCNeigh, atom+slot, dep, true)
+				nb, ndep := b.Load(ammpPCNeigh, wordAddr(atom+4, bd.rng.Intn(8)), dep, true)
 				b.Load(ammpPCNCoord, nb+40, ndep, true)
 			}
 			b.Compute(260) // non-bonded force computation per atom

@@ -37,10 +37,10 @@ func buildArt(p Params) *trace.Trace {
 	protos := bd.seqAlloc(nProtos, 64)
 	m := bd.b.Mem()
 	for i := 0; i < weights; i++ {
-		m.Write32(wBase+uint32(4*i), uint32(bd.rng.Intn(1<<16))) // small ints: not pointers
+		m.Write32(wordAddr(wBase, i), uint32(bd.rng.Intn(1<<16))) // small ints: not pointers
 	}
 	for i, pr := range protos {
-		m.Write32(protoTable+uint32(4*i), pr)
+		m.Write32(wordAddr(protoTable, i), pr)
 	}
 
 	b := bd.b
@@ -48,18 +48,18 @@ func buildArt(p Params) *trace.Trace {
 		// Forward sweep: weights × f1 (two concurrent streams), one load
 		// per cache block.
 		for i := 0; i < weights; i += 16 {
-			b.Load(artPCWeight, wBase+uint32(4*i), trace.NoDep, false)
-			b.Load(artPCF1, f1Base+uint32(4*(i%f1)), trace.NoDep, false)
+			b.Load(artPCWeight, wordAddr(wBase, i), trace.NoDep, false)
+			b.Load(artPCF1, wordAddr(f1Base, i%f1), trace.NoDep, false)
 			b.Compute(160)
 		}
 		// Winner selection: one pointer-table access per epoch block.
 		for k := 0; k < 64; k++ {
-			pr, pdep := b.Load(artPCProto, protoTable+uint32(4*bd.rng.Intn(nProtos)), trace.NoDep, false)
+			pr, pdep := b.Load(artPCProto, wordAddr(protoTable, bd.rng.Intn(nProtos)), trace.NoDep, false)
 			b.Load(artPCMatch, pr, pdep, true)
 		}
 		// Update sweep (stores).
 		for i := 0; i < weights; i += 16 {
-			b.Store(artPCStore, wBase+uint32(4*i), uint32(i), trace.NoDep)
+			b.Store(artPCStore, wordAddr(wBase, i), uint32(i), trace.NoDep)
 		}
 	}
 	return b.Trace()

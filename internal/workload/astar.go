@@ -44,7 +44,7 @@ func buildAstar(p Params) *trace.Trace {
 	open := bd.shuffledAlloc(nOpen, 16)
 	m := bd.b.Mem()
 
-	cellAt := func(x, y int) uint32 { return grid + uint32((y*side+x)*16) }
+	cellAt := func(x, y int) uint32 { return elemAddr(grid, y*side+x, 16) }
 	// Seed every open node with a random cell and chain them.
 	listHead := uint32(0)
 	for i, n := range open {

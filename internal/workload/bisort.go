@@ -82,7 +82,7 @@ func buildBisort(p Params) *trace.Trace {
 			if pivot >= v {
 				off = 8
 			}
-			addr, dep = b.Load(bisortPCDescKid, addr+off, dep, true)
+			addr, dep = b.Load(bisortPCDescKid, addU32(addr, off), dep, true)
 
 			// Frequent subtree swap at the visited node: exchange the
 			// children of the next node, invalidating whatever CDP

@@ -52,13 +52,13 @@ func buildGCC(p Params) *trace.Trace {
 		// Sweep the insn stream (one load per block) with occasional
 		// bitmap checks — the stream-prefetchable majority.
 		for i := 0; i < insns; i += 16 {
-			b.Load(gccPCInsn, insnBase+uint32(4*i), trace.NoDep, false)
+			b.Load(gccPCInsn, wordAddr(insnBase, i), trace.NoDep, false)
 			if i%64 == 0 {
-				b.Load(gccPCBitmap, bitmapBase+uint32(i/8), trace.NoDep, false)
+				b.Load(gccPCBitmap, elemAddr(bitmapBase, i/8, 1), trace.NoDep, false)
 			}
 			b.Compute(180)
 			if i%128 == 0 {
-				b.Store(gccPCSt, insnBase+uint32(4*i), uint32(i), trace.NoDep)
+				b.Store(gccPCSt, wordAddr(insnBase, i), uint32(i), trace.NoDep)
 			}
 			// Occasionally fold an RTL expression: a short tree walk whose
 			// branch choices depend on the insn being folded.
@@ -73,7 +73,7 @@ func buildGCC(p Params) *trace.Trace {
 					if sel&(1<<uint(d)) != 0 {
 						off = 8
 					}
-					addr, dep = b.Load(gccPCRtxKid, addr+off, dep, true)
+					addr, dep = b.Load(gccPCRtxKid, addU32(addr, off), dep, true)
 				}
 			}
 		}

@@ -46,7 +46,7 @@ func buildHealth(p Params) *trace.Trace {
 	for i, v := range villages {
 		for k := 0; k < 4; k++ {
 			if c := 4*i + k + 1; c < nVillages {
-				m.Write32(v+uint32(4*k), villages[c])
+				m.Write32(wordAddr(v, k), villages[c])
 			}
 		}
 	}
@@ -94,7 +94,7 @@ func buildHealth(p Params) *trace.Trace {
 		}
 		// Visit children first (check_patients walks the whole tree).
 		for k := 0; k < 4; k++ {
-			kid, kdep := b.Load(healthPCKid, addr+uint32(4*k), dep, true)
+			kid, kdep := b.Load(healthPCKid, wordAddr(addr, k), dep, true)
 			walk(kid, kdep, step)
 		}
 		// Traverse this village's patient list.

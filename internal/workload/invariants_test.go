@@ -16,7 +16,7 @@ func followChain(m *mem.Memory, head uint32, off uint32, max int) int {
 	n := 0
 	for head != 0 && n < max {
 		n++
-		head = m.Read32(head + off)
+		head = m.Read32(addU32(head, off))
 	}
 	return n
 }

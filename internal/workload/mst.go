@@ -67,7 +67,7 @@ func buildMST(p Params) *trace.Trace {
 			m.Write32(chain[i]+12, head) // next
 			head = chain[i]
 		}
-		m.Write32(buckets+uint32(4*b), head)
+		m.Write32(wordAddr(buckets, b), head)
 	}
 
 	// Lookup loop: pick a random bucket, walk to a random position in its
@@ -82,7 +82,7 @@ func buildMST(p Params) *trace.Trace {
 		}
 		target := bd.rng.Intn(len(chain))
 
-		ent, dep := b.Load(mstPCBucket, buckets+uint32(4*bkt), trace.NoDep, false)
+		ent, dep := b.Load(mstPCBucket, wordAddr(buckets, bkt), trace.NoDep, false)
 		for pos := 0; ; pos++ {
 			_, _ = b.Load(mstPCKey, ent, dep, true) // ent->Key
 			b.Compute(60)                           // hash compare + bookkeeping per node

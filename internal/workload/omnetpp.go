@@ -52,12 +52,12 @@ func buildOmnetpp(p Params) *trace.Trace {
 			m.Write32(mg+12, payloads[i])
 		}
 		// Heap array in arbitrary order (times are random anyway).
-		m.Write32(heapArr+uint32(4*(i+1)), mg)
+		m.Write32(wordAddr(heapArr, i+1), mg)
 	}
 	size := nMsgs
 
 	b := bd.b
-	entry := func(i int) uint32 { return heapArr + uint32(4*i) }
+	entry := func(i int) uint32 { return wordAddr(heapArr, i) }
 	for ev := 0; ev < events; ev++ {
 		// Pop the root message and read its time.
 		msg, mdep := b.Load(omnetPCRoot, entry(1), trace.NoDep, false)

@@ -60,7 +60,7 @@ func buildPerimeter(p Params) *trace.Trace {
 				if depth < 3 && bd.rng.Intn(4) == 0 {
 					continue
 				}
-				m.Write32(a+uint32(4+4*k), grow(depth-1))
+				m.Write32(wordAddr(a+4, k), grow(depth-1))
 			}
 		}
 		return a
@@ -76,7 +76,7 @@ func buildPerimeter(p Params) *trace.Trace {
 		b.Load(perimPCColor, addr, dep, true)
 		b.Compute(60) // perimeter contribution of this quadrant
 		for k := 0; k < 4; k++ {
-			kid, kdep := b.Load(perimPCKid, addr+uint32(4+4*k), dep, true)
+			kid, kdep := b.Load(perimPCKid, wordAddr(addr+4, k), dep, true)
 			dfs(kid, kdep)
 		}
 	}

@@ -56,7 +56,7 @@ func buildPerlbench(p Params) *trace.Trace {
 			m.Write32(chain[i]+12, head)
 			head = chain[i]
 		}
-		m.Write32(buckets+uint32(4*bkt), head)
+		m.Write32(wordAddr(buckets, bkt), head)
 	}
 
 	b := bd.b
@@ -67,7 +67,7 @@ func buildPerlbench(p Params) *trace.Trace {
 			continue
 		}
 		target := bd.rng.Intn(len(chain))
-		ent, dep := b.Load(perlPCBucket, buckets+uint32(4*bkt), trace.NoDep, false)
+		ent, dep := b.Load(perlPCBucket, wordAddr(buckets, bkt), trace.NoDep, false)
 		for pos := 0; ent != 0; pos++ {
 			b.Load(perlPCKey, ent, dep, true)
 			b.Compute(50) // opcode dispatch between lookups

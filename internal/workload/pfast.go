@@ -56,26 +56,26 @@ func buildPfast(p Params) *trace.Trace {
 			m.Write32(chain[i]+8, head)
 			head = chain[i]
 		}
-		m.Write32(buckets+uint32(4*bkt), head)
+		m.Write32(wordAddr(buckets, bkt), head)
 	}
 
 	b := bd.b
 	for q := 0; q < queries; q++ {
 		bkt := bd.rng.Intn(nBuckets)
-		seed, dep := b.Load(pfastPCBucket, buckets+uint32(4*bkt), trace.NoDep, false)
+		seed, dep := b.Load(pfastPCBucket, wordAddr(buckets, bkt), trace.NoDep, false)
 		for seed != 0 {
 			pos, _ := b.Load(pfastPCSeed, seed, dep, true)
 			b.Compute(50) // seed chain filtering
 			// Extend the alignment: probe the genome at the seed position
 			// (data-dependent offset; defeats stream prefetching).
-			gaddr := genome + (pos%uint32(genomeWords))*4
+			gaddr := elemAddr(genome, int(pos%uint32(genomeWords)), 4)
 			b.Load(pfastPCGenome, gaddr&^3, trace.NoDep, false)
 			b.Load(pfastPCGenome, (gaddr+64)&^3, trace.NoDep, false)
 			b.Compute(60) // alignment extension scoring
 			seed, dep = b.Load(pfastPCNext, seed+8, dep, true)
 		}
 		if q%8 == 0 {
-			b.Store(pfastPCScore, scores+uint32(4*(q%1024)), uint32(q), trace.NoDep)
+			b.Store(pfastPCScore, wordAddr(scores, q%1024), uint32(q), trace.NoDep)
 		}
 	}
 	return b.Trace()

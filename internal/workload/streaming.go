@@ -19,11 +19,11 @@ import "ldsprefetch/internal/trace"
 func streamSweep(b *trace.Builder, pc, base uint32, words int, store bool, stPC uint32) {
 	for i := 0; i < words; i += 16 {
 		for w := 0; w < 16; w += 4 {
-			b.Load(pc, base+uint32(4*(i+w)), trace.NoDep, false)
+			b.Load(pc, wordAddr(base, i+w), trace.NoDep, false)
 		}
 		b.Compute(360)
 		if store {
-			b.Store(stPC, base+uint32(4*i), uint32(i), trace.NoDep)
+			b.Store(stPC, wordAddr(base, i), uint32(i), trace.NoDep)
 		}
 	}
 }
@@ -58,11 +58,11 @@ func init() {
 				for i := 0; i < words; i += 16 {
 					// Two input streams, four words each, one output store.
 					for w := 0; w < 16; w += 8 {
-						b.Load(0x21_0100, a+uint32(4*(i+w)), trace.NoDep, false)
-						b.Load(0x21_0104, bb+uint32(4*(i+w)), trace.NoDep, false)
+						b.Load(0x21_0100, wordAddr(a, i+w), trace.NoDep, false)
+						b.Load(0x21_0104, wordAddr(bb, i+w), trace.NoDep, false)
 					}
 					b.Compute(480)
-					b.Store(0x21_0108, c+uint32(4*i), uint32(i), trace.NoDep)
+					b.Store(0x21_0108, wordAddr(c, i), uint32(i), trace.NoDep)
 				}
 			}
 			return b.Trace()
@@ -85,7 +85,7 @@ func init() {
 				ox, oy := bd.rng.Intn(side-64), bd.rng.Intn(side-8)
 				for row := 0; row < 8; row++ {
 					for col := 0; col < 64; col += 8 {
-						addr := frame + uint32(4*((oy+row)*side+ox+col))
+						addr := wordAddr(frame, (oy+row)*side+ox+col)
 						b.Load(0x22_0100, addr, trace.NoDep, false)
 					}
 					b.Compute(160)
@@ -105,7 +105,7 @@ func init() {
 			b := bd.b
 			for s := 0; s < sweeps; s++ {
 				for i := 0; i < cells; i++ {
-					addr := lattice + uint32(16*i)
+					addr := elemAddr(lattice, i, 16)
 					b.Load(0x23_0100, addr, trace.NoDep, false)
 					b.Compute(110)
 					if i%2 == 0 {

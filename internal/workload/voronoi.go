@@ -72,7 +72,7 @@ func buildVoronoi(p Params) *trace.Trace {
 				off = 8
 			}
 			last, lastDep = addr, dep
-			addr, dep = b.Load(vorPCDescKid, addr+off, dep, true)
+			addr, dep = b.Load(vorPCDescKid, addU32(addr, off), dep, true)
 		}
 		// Walk the located region (both children followed).
 		if q%2 == 0 && last != 0 {

@@ -79,29 +79,25 @@ func register(g Generator) {
 
 func ordered() []string {
 	out := make([]string, 0, len(registry))
+	inPaper := make(map[string]bool, len(paperOrder))
 	for _, n := range paperOrder {
+		inPaper[n] = true
 		if _, ok := registry[n]; ok {
 			out = append(out, n)
 		}
 	}
 	// Any extras registered outside the paper order come last, sorted.
-	var extras []int
-	_ = extras
-	var rest []string
+	var names []string
 	for n := range registry {
-		found := false
-		for _, o := range paperOrder {
-			if n == o {
-				found = true
-				break
-			}
-		}
-		if !found {
-			rest = append(rest, n)
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !inPaper[n] {
+			out = append(out, n)
 		}
 	}
-	sort.Strings(rest)
-	return append(out, rest...)
+	return out
 }
 
 // Get returns the generator for a benchmark name.
@@ -265,6 +261,33 @@ func sizeU32(n int, elem uint32) uint32 {
 	}
 	return uint32(s)
 }
+
+// addU32 adds two 32-bit addresses/offsets with a wrap check. The raw
+// `a + b` would wrap silently at large -scale and alias the low heap.
+func addU32(a, b uint32) uint32 {
+	s := uint64(a) + uint64(b)
+	if s > math.MaxUint32 {
+		panic(fmt.Sprintf("workload: address %#x + offset %#x wraps the 32-bit address space; reduce the scale", a, b))
+	}
+	return uint32(s)
+}
+
+// elemAddr returns the address of element i of an array of elem-byte objects
+// at base, computing the offset in uint64 and panicking on 32-bit wrap.
+func elemAddr(base uint32, i int, elem uint32) uint32 {
+	if i < 0 {
+		panic(fmt.Sprintf("workload: negative element index %d", i))
+	}
+	s := uint64(base) + uint64(i)*uint64(elem)
+	if s > math.MaxUint32 {
+		panic(fmt.Sprintf("workload: element %d x %d bytes at %#x wraps the 32-bit address space; reduce the scale", i, elem, base))
+	}
+	return uint32(s)
+}
+
+// wordAddr returns the address of the i'th 4-byte word at base; the common
+// case of elemAddr for the proxies' word-grained tables.
+func wordAddr(base uint32, i int) uint32 { return elemAddr(base, i, 4) }
 
 // shuffledAlloc allocates n objects of the given size, returning their
 // addresses indexed by logical id, in an order that mimics a real heap:
