@@ -5,7 +5,9 @@
 //	experiments -exp fig7            # one experiment
 //	experiments -exp all             # the full evaluation
 //	experiments -list                # available experiment ids
+//	experiments -list-configs        # named configs + component catalog
 //	experiments -exp fig7 -scale 0.5 # smaller inputs (faster, noisier)
+//	experiments -spec spec.json      # custom sim.Spec vs the stream baseline
 //
 // Persisting runs:
 //
@@ -32,14 +34,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 
 	"ldsprefetch/internal/exp"
+	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/sim/registry"
 	"ldsprefetch/internal/workload"
 )
 
@@ -55,7 +61,9 @@ var formatExt = map[string]string{"": "txt", "text": "txt", "json": "json", "csv
 
 func main() {
 	id := flag.String("exp", "", "experiment id (see -list), or \"all\"")
+	specArg := flag.String("spec", "", "sim.Spec JSON, inline or a file path (alternative to -exp)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	listConfigs := flag.Bool("list-configs", false, "list named configurations and registered components, then exit")
 	scale := flag.Float64("scale", 1.0, "input scale (1.0 = reference inputs)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	par := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations")
@@ -72,8 +80,15 @@ func main() {
 		}
 		return
 	}
-	if *id == "" {
-		fatal("experiments: -exp <id> required (use -list to see ids)")
+	if *listConfigs {
+		printConfigs()
+		return
+	}
+	if *id == "" && *specArg == "" {
+		fatal("experiments: -exp <id> or -spec <json> required (use -list to see ids)")
+	}
+	if *id != "" && *specArg != "" {
+		fatal("experiments: -exp and -spec are mutually exclusive" + usageHint)
 	}
 	if *par <= 0 {
 		fatal(fmt.Sprintf("experiments: -parallel must be > 0, got %d%s", *par, usageHint))
@@ -94,9 +109,24 @@ func main() {
 	ctx.CacheDir = *cacheDir
 	ctx.VerifyCache = *verify
 
-	reports, err := exp.Run(ctx, *id)
-	if err != nil {
-		fatal(err)
+	label := *id
+	var reports []exp.Report
+	if *specArg != "" {
+		sp, err := loadSpec(*specArg)
+		if err != nil {
+			fatal(fmt.Sprintf("experiments: %v", err))
+		}
+		if err := sp.Validate(); err != nil {
+			fatal(fmt.Sprintf("experiments: %v", err))
+		}
+		label = "spec:" + sp.Name
+		reports = []exp.Report{exp.CustomSpec(ctx, sp)}
+	} else {
+		var err error
+		reports, err = exp.Run(ctx, *id)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	for _, r := range reports {
 		out, err := r.Render(*format)
@@ -115,7 +145,7 @@ func main() {
 		}
 	}
 
-	manifest := exp.NewManifest(*id, *scale, *seed, *par)
+	manifest := exp.NewManifest(label, *scale, *seed, *par)
 	if *cacheDir != "" {
 		manifest.AttachJobs(*cacheDir, ctx.Jobs())
 		snap := ctx.Jobs().Metrics().Snapshot()
@@ -136,5 +166,50 @@ func main() {
 			fmt.Fprintln(os.Stderr, " -", e)
 		}
 		os.Exit(1)
+	}
+}
+
+// loadSpec parses the -spec argument: inline JSON when it looks like a JSON
+// document, a file path otherwise.
+func loadSpec(arg string) (sim.Spec, error) {
+	data := arg
+	if !strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return sim.Spec{}, fmt.Errorf("reading -spec file: %w", err)
+		}
+		data = string(b)
+	}
+	var sp sim.Spec
+	dec := json.NewDecoder(strings.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return sim.Spec{}, fmt.Errorf("parsing -spec: %w", err)
+	}
+	return sp, nil
+}
+
+// printConfigs lists the named configurations and the registered component
+// catalog, mirroring `ldssim -list-configs`.
+func printConfigs() {
+	fmt.Println("named configurations (-config in ldssim; building blocks of the figures):")
+	for _, n := range sim.NamedConfigs() {
+		suffix := ""
+		if sim.NamedNeedsHints(n) {
+			suffix = " (profiles hints)"
+		}
+		fmt.Printf("  %s%s\n", n, suffix)
+	}
+	fmt.Println("\nprefetcher components (-spec kinds):")
+	for _, kind := range registry.Prefetchers() {
+		in, _ := registry.Lookup(kind)
+		fmt.Printf("  %-10s v%-2d throttleable=%-5v switchable=%-5v consumes_hints=%v\n",
+			in.Kind, in.Version, in.Throttleable, in.Switchable, in.ConsumesHints)
+	}
+	fmt.Println("\npolicy components (-spec kinds):")
+	for _, kind := range registry.Policies() {
+		in, _ := registry.Lookup(kind)
+		fmt.Printf("  %-10s v%-2d claims_throttle=%-5v min_switchable=%d\n",
+			in.Kind, in.Version, in.ClaimsThrottle, in.MinSwitchable)
 	}
 }

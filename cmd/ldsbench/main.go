@@ -1,5 +1,5 @@
 // Command ldsbench runs the repository's benchmark set through
-// testing.Benchmark and emits a versioned JSON artifact (BENCH_PR4.json by
+// testing.Benchmark and emits a versioned JSON artifact (BENCH_PR5.json by
 // default) recording ns/op, B/op, allocs/op, and simulated-accesses/sec per
 // benchmark, plus the metadata needed to compare runs over time (schema
 // version, workload scale, Go version). CI runs the short set on every push
@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	ldsbench                      # short set -> BENCH_PR4.json
+//	ldsbench                      # short set -> BENCH_PR5.json
 //	ldsbench -set full -out -     # every paper artifact, JSON to stdout
 package main
 
@@ -72,8 +72,11 @@ type artifact struct {
 	// Bytes/op was not recorded for the micro-benchmarks then.
 	BaselinePR2 []baselineRow `json:"baseline_pr2"`
 	// BaselinePR3 holds the PR 3 tree's measurements (identical scale and
-	// seed), the immediate reference point for this PR's trajectory.
+	// seed).
 	BaselinePR3 []baselineRow `json:"baseline_pr3"`
+	// BaselinePR4 holds the PR 4 tree's measurements (identical scale and
+	// seed), the immediate reference point for this PR's trajectory.
+	BaselinePR4 []baselineRow `json:"baseline_pr4"`
 }
 
 // baselinePR2 are the PR 2 measurements at scale 0.15, seed 1.
@@ -91,6 +94,16 @@ var baselinePR3 = []baselineRow{
 	{Name: "sim_proposal", NsPerOp: 101329219, BytesPerOp: 8991337, AllocsPerOp: 138},
 	{Name: "profile_pass", NsPerOp: 66922797, BytesPerOp: 5488729, AllocsPerOp: 74},
 	{Name: "fig1", NsPerOp: 4037539291, BytesPerOp: 1254730712, AllocsPerOp: 54232},
+}
+
+// baselinePR4 are the PR 4 measurements at scale 0.15, seed 1 (the short
+// set, from BENCH_PR4.json).
+var baselinePR4 = []baselineRow{
+	{Name: "sim_baseline", NsPerOp: 36247959, BytesPerOp: 5510066, AllocsPerOp: 63},
+	{Name: "sim_cdp", NsPerOp: 55147021, BytesPerOp: 5510305, AllocsPerOp: 66},
+	{Name: "sim_proposal", NsPerOp: 80969303, BytesPerOp: 8991681, AllocsPerOp: 141},
+	{Name: "profile_pass", NsPerOp: 57455079, BytesPerOp: 5489137, AllocsPerOp: 77},
+	{Name: "fig1", NsPerOp: 3284261086, BytesPerOp: 1254735928, AllocsPerOp: 54285},
 }
 
 func experimentBench(id string) func(b *testing.B, in lds.Input) {
@@ -175,7 +188,7 @@ func benchmarks() []benchmark {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output path (- for stdout)")
+	out := flag.String("out", "BENCH_PR5.json", "output path (- for stdout)")
 	set := flag.String("set", "short", "benchmark set: short (CI) or full (every artifact)")
 	scale := flag.Float64("scale", lds.BenchScale, "workload input scale")
 	seed := flag.Int64("seed", 1, "workload input seed")
@@ -197,6 +210,7 @@ func main() {
 		GOARCH:        runtime.GOARCH,
 		BaselinePR2:   baselinePR2,
 		BaselinePR3:   baselinePR3,
+		BaselinePR4:   baselinePR4,
 	}
 	for _, bm := range benchmarks() {
 		if *set == "short" && !bm.short {

@@ -6,12 +6,18 @@
 //	ldssim -bench mst -config ecdp+throttle
 //	ldssim -bench health -config stream -scale 0.5
 //	ldssim -bench xalancbmk,astar -config ecdp+throttle   # dual-core
+//	ldssim -bench mst -spec spec.json                     # declarative spec
+//	ldssim -bench mst -spec '{"name":"x","components":[{"kind":"stream"}]}'
 //	ldssim -bench mst -trace /tmp/t                       # + JSONL telemetry
 //	ldssim -bench mst -cache results/cache                # cached re-runs
 //	ldssim -list
+//	ldssim -list-configs
 //
 // Configurations: none, stream, cdp, cdp+throttle, ecdp, ecdp+throttle,
-// markov, ghb, dbp, ideal.
+// markov, ghb, dbp, ideal — or an arbitrary composition via -spec, which
+// takes a sim.Spec JSON document (inline or a file path) listing registered
+// component kinds with options. -list-configs prints the named
+// configurations and the component catalog.
 //
 // -cache <dir> routes the run through the job orchestrator's
 // content-addressed result store: an identical re-run (same benchmark,
@@ -26,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +49,7 @@ import (
 	"ldsprefetch/internal/prefetch"
 	"ldsprefetch/internal/profiling"
 	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/sim/registry"
 	"ldsprefetch/internal/workload"
 )
 
@@ -62,9 +70,11 @@ func hints(bench string, p workload.Params) *core.HintTable {
 func main() {
 	bench := flag.String("bench", "mst", "benchmark name")
 	config := flag.String("config", "ecdp+throttle", "prefetching configuration")
+	specArg := flag.String("spec", "", "sim.Spec JSON, inline or a file path (overrides -config)")
 	scale := flag.Float64("scale", 1.0, "input scale")
 	seed := flag.Int64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	listConfigs := flag.Bool("list-configs", false, "list named configurations and registered components, then exit")
 	traceDir := flag.String("trace", "", "directory for interval/event JSONL traces (+ manifest)")
 	outDir := flag.String("out", "", "directory to persist the run summary (+ manifest)")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory")
@@ -81,6 +91,10 @@ func main() {
 		}
 		return
 	}
+	if *listConfigs {
+		printConfigs()
+		return
+	}
 	if *scale <= 0 || math.IsNaN(*scale) || math.IsInf(*scale, 0) {
 		fatal(fmt.Sprintf("ldssim: -scale must be a positive number, got %v (run 'ldssim -h' for usage)", *scale))
 	}
@@ -90,24 +104,45 @@ func main() {
 	train.Scale *= *scale
 	benches := strings.Split(*bench, ",")
 
-	// Hint tables are only profiled when the configuration consumes them; a
-	// mix merges the per-benchmark tables (PCs are disjoint per generator).
-	var h *core.HintTable
-	if sim.NamedNeedsHints(*config) {
-		h = core.NewHintTable()
-		for _, b := range benches {
-			bh := hints(b, train)
-			for _, pc := range bh.PCs() {
-				v, _ := bh.Lookup(pc)
-				h.Set(pc, v)
+	var setup sim.Spec
+	if *specArg != "" {
+		sp, err := loadSpec(*specArg)
+		if err != nil {
+			fatal(fmt.Sprintf("ldssim: %v", err))
+		}
+		if err := sp.Validate(); err != nil {
+			fatal(fmt.Sprintf("ldssim: %v", err))
+		}
+		setup = sp
+	} else {
+		// Hint tables are only profiled when the configuration consumes them;
+		// a mix merges the per-benchmark tables (PCs are disjoint per
+		// generator).
+		var h *core.HintTable
+		if sim.NamedNeedsHints(*config) {
+			h = core.NewHintTable()
+			for _, b := range benches {
+				bh := hints(b, train)
+				for _, pc := range bh.PCs() {
+					v, _ := bh.Lookup(pc)
+					h.Set(pc, v)
+				}
 			}
 		}
-	}
-	setup, err := sim.Named(*config, h)
-	if err != nil {
-		fatal(fmt.Sprintf("ldssim: %v (run 'ldssim -h' for usage)", err))
+		var err error
+		setup, err = sim.Named(*config, h)
+		if err != nil {
+			fatal(fmt.Sprintf("ldssim: %v (run 'ldssim -h' for usage)", err))
+		}
 	}
 	setup.Trace = *traceDir != ""
+
+	// Manifests record the named configuration, or the spec name for -spec
+	// runs (the spec itself is what reproduces the run, not the label).
+	configLabel := *config
+	if *specArg != "" {
+		configLabel = "spec:" + setup.Name
+	}
 
 	var sched *jobs.Scheduler
 	{
@@ -130,7 +165,7 @@ func main() {
 	}
 
 	if len(benches) > 1 {
-		mr, err := sched.Multi(benches, p, setup)
+		mr, err := sched.MultiSpec(benches, p, setup)
 		if err != nil {
 			fatal(err)
 		}
@@ -155,11 +190,11 @@ func main() {
 			}
 		}
 		cacheSummary(*cacheDir, sched)
-		persist(*traceDir, *outDir, *config, benches, *scale, *seed, sb.String())
+		persist(*traceDir, *outDir, configLabel, benches, *scale, *seed, sb.String())
 		return
 	}
 
-	r, err := sched.Single(benches[0], p, setup)
+	r, err := sched.SingleSpec(benches[0], p, setup)
 	if err != nil {
 		fatal(err)
 	}
@@ -183,7 +218,56 @@ func main() {
 		}
 	}
 	cacheSummary(*cacheDir, sched)
-	persist(*traceDir, *outDir, *config, benches, *scale, *seed, sb.String())
+	persist(*traceDir, *outDir, configLabel, benches, *scale, *seed, sb.String())
+}
+
+// loadSpec parses the -spec argument: inline JSON when it looks like a JSON
+// document, a file path otherwise.
+func loadSpec(arg string) (sim.Spec, error) {
+	data := []byte(arg)
+	if !strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return sim.Spec{}, fmt.Errorf("reading -spec file: %w", err)
+		}
+		data = b
+	}
+	var sp sim.Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return sim.Spec{}, fmt.Errorf("parsing -spec: %w", err)
+	}
+	if sp.Name == "" {
+		sp.Name = "spec"
+	}
+	return sp, nil
+}
+
+// printConfigs lists the named configurations and the component catalog the
+// registry knows about, so -spec authors can discover kinds without reading
+// source.
+func printConfigs() {
+	fmt.Println("named configurations (-config):")
+	for _, n := range sim.NamedConfigs() {
+		suffix := ""
+		if sim.NamedNeedsHints(n) {
+			suffix = " (profiles hints)"
+		}
+		fmt.Printf("  %s%s\n", n, suffix)
+	}
+	fmt.Println("\nprefetcher components (-spec kinds):")
+	for _, kind := range registry.Prefetchers() {
+		in, _ := registry.Lookup(kind)
+		fmt.Printf("  %-10s v%-2d throttleable=%-5v switchable=%-5v consumes_hints=%v\n",
+			in.Kind, in.Version, in.Throttleable, in.Switchable, in.ConsumesHints)
+	}
+	fmt.Println("\npolicy components (-spec kinds):")
+	for _, kind := range registry.Policies() {
+		in, _ := registry.Lookup(kind)
+		fmt.Printf("  %-10s v%-2d claims_throttle=%-5v min_switchable=%d\n",
+			in.Kind, in.Version, in.ClaimsThrottle, in.MinSwitchable)
+	}
 }
 
 // cacheSummary reports cache provenance on stderr when a cache is in use.

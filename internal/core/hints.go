@@ -12,6 +12,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 )
@@ -97,4 +98,36 @@ func (t *HintTable) PCs() []uint32 {
 	}
 	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
 	return pcs
+}
+
+// hintEntry is the serialized form of one hinted load.
+type hintEntry struct {
+	PC  uint32 `json:"pc"`
+	Pos uint32 `json:"pos"`
+	Neg uint32 `json:"neg"`
+}
+
+// MarshalJSON encodes the table as an array of {pc, pos, neg} entries in
+// ascending PC order — deterministic, so the encoding is safe to embed in
+// cache keys and golden files.
+func (t *HintTable) MarshalJSON() ([]byte, error) {
+	entries := make([]hintEntry, 0, len(t.byPC))
+	for _, pc := range t.PCs() {
+		v := t.byPC[pc]
+		entries = append(entries, hintEntry{PC: pc, Pos: v.Pos, Neg: v.Neg})
+	}
+	return json.Marshal(entries)
+}
+
+// UnmarshalJSON rebuilds the table from its MarshalJSON encoding.
+func (t *HintTable) UnmarshalJSON(b []byte) error {
+	var entries []hintEntry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return err
+	}
+	t.byPC = make(map[uint32]HintVec, len(entries))
+	for _, e := range entries {
+		t.byPC[e.PC] = HintVec{Pos: e.Pos, Neg: e.Neg}
+	}
+	return nil
 }

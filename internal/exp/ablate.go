@@ -7,6 +7,7 @@ import (
 	"ldsprefetch/internal/core"
 	"ldsprefetch/internal/prefetch"
 	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/sim/registry"
 )
 
 // ablationBenches is a representative subset used for design-choice sweeps
@@ -29,8 +30,10 @@ func AblateDepth(c *Context) Report {
 			go func(i, j int, b string, lv prefetch.AggLevel, hints *core.HintTable) {
 				defer wg.Done()
 				l := lv
-				res[i][j] = c.run(b, sim.Setup{Name: fmt.Sprintf("ecdp-depth%d", prefetch.CDPDepth(l)),
-					Stream: true, CDP: true, Hints: hints, InitialLevel: &l})
+				sp := sim.NewSpec(fmt.Sprintf("ecdp-depth%d", prefetch.CDPDepth(l)),
+					"stream", "cdp").WithHints(hints)
+				sp.InitialLevel = &l
+				res[i][j] = c.run(b, sp)
 			}(i, j, b, lv, grids[i].Hints)
 		}
 	}
@@ -69,8 +72,10 @@ func AblateThresholds(c *Context) Report {
 			wg.Add(1)
 			go func(i, j int, b string, th core.Thresholds, hints *core.HintTable) {
 				defer wg.Done()
-				res[i][j] = c.run(b, sim.Setup{Name: "ecdp+thr", Stream: true, CDP: true,
-					Hints: hints, Throttle: true, Thresholds: &th})
+				sp := sim.NewSpec("ecdp+thr", "stream", "cdp").
+					With(sim.NewComponent("throttle", registry.ThrottleOptions{Thresholds: &th})).
+					WithHints(hints)
+				res[i][j] = c.run(b, sp)
 			}(i, j, b, v.th, grids[i].Hints)
 		}
 	}
@@ -103,8 +108,9 @@ func AblateInterval(c *Context) Report {
 			wg.Add(1)
 			go func(i, j, iv int, b string, hints *core.HintTable) {
 				defer wg.Done()
-				res[i][j] = c.run(b, sim.Setup{Name: "ecdp+thr", Stream: true, CDP: true,
-					Hints: hints, Throttle: true, IntervalLen: iv})
+				sp := sim.NewSpec("ecdp+thr", "stream", "cdp", "throttle").WithHints(hints)
+				sp.IntervalLen = iv
+				res[i][j] = c.run(b, sp)
 			}(i, j, iv, b, grids[i].Hints)
 		}
 	}
@@ -136,8 +142,8 @@ func AblateHintThreshold(c *Context) Report {
 			go func(i, j int, b string, cut float64, g *Grid) {
 				defer wg.Done()
 				hints := g.Prof.Hints(cut)
-				res[i][j] = c.run(b, sim.Setup{Name: "ecdp+thr", Stream: true, CDP: true,
-					Hints: hints, Throttle: true})
+				res[i][j] = c.run(b,
+					sim.NewSpec("ecdp+thr", "stream", "cdp", "throttle").WithHints(hints))
 			}(i, j, b, cut, grids[i])
 		}
 	}
@@ -171,10 +177,10 @@ func AblateTriple(c *Context) Report {
 		wg.Add(1)
 		go func(i int, b string, hints *core.HintTable) {
 			defer wg.Done()
-			res[i].plain = c.run(b, sim.Setup{Name: "stream+ecdp+ghb",
-				Stream: true, CDP: true, Hints: hints, GHB: true})
-			res[i].thr = c.run(b, sim.Setup{Name: "stream+ecdp+ghb+thr",
-				Stream: true, CDP: true, Hints: hints, GHB: true, Throttle: true})
+			res[i].plain = c.run(b,
+				sim.NewSpec("stream+ecdp+ghb", "stream", "cdp", "ghb").WithHints(hints))
+			res[i].thr = c.run(b,
+				sim.NewSpec("stream+ecdp+ghb+thr", "stream", "cdp", "ghb", "throttle").WithHints(hints))
 		}(i, b, grids[i].Hints)
 	}
 	wg.Wait()

@@ -96,20 +96,20 @@ func (c *Context) Jobs() *jobs.Scheduler {
 }
 
 // RunOne executes one simulation as a job, persisting its telemetry when
-// TraceDir is set. Failures (unknown benchmark, contained worker panic) are
-// returned; trace-write failures are recorded (TraceErr, JobErrs) without
-// failing the run.
-func (c *Context) RunOne(bench string, s sim.Setup) (sim.Result, error) {
+// TraceDir is set. Failures (invalid spec, unknown benchmark, contained
+// worker panic) are returned; trace-write failures are recorded (TraceErr,
+// JobErrs) without failing the run.
+func (c *Context) RunOne(bench string, sp sim.Spec) (sim.Result, error) {
 	if c.TraceDir != "" {
-		s.Trace = true
+		sp.Trace = true
 	}
-	r, err := c.Jobs().Single(bench, c.Params, s)
+	r, err := c.Jobs().SingleSpec(bench, c.Params, sp)
 	if err != nil {
 		return r, err
 	}
 	if c.TraceDir != "" && r.Trace != nil {
 		if werr := WriteTrace(c.TraceDir, r.Trace); werr != nil {
-			c.noteTraceErr(fmt.Errorf("writing trace %s/%s: %w", bench, s.Name, werr))
+			c.noteTraceErr(fmt.Errorf("writing trace %s/%s: %w", bench, sp.Name, werr))
 		}
 	}
 	return r, nil
@@ -117,10 +117,10 @@ func (c *Context) RunOne(bench string, s sim.Setup) (sim.Result, error) {
 
 // run executes one simulation, converting failures into recorded job errors
 // (surfaced in report footers and the CLI exit code) instead of panics.
-func (c *Context) run(bench string, s sim.Setup) sim.Result {
-	r, err := c.RunOne(bench, s)
+func (c *Context) run(bench string, sp sim.Spec) sim.Result {
+	r, err := c.RunOne(bench, sp)
 	if err != nil {
-		c.noteJobErr(fmt.Errorf("job %s/%s: %w", bench, s.Name, err))
+		c.noteJobErr(fmt.Errorf("job %s/%s: %w", bench, sp.Name, err))
 	}
 	return r
 }
@@ -128,11 +128,11 @@ func (c *Context) run(bench string, s sim.Setup) sim.Result {
 // RunMix executes one multi-core simulation as jobs (one shared run plus
 // cacheable per-benchmark alone runs), persisting per-core telemetry when
 // TraceDir is set.
-func (c *Context) RunMix(benches []string, s sim.Setup) (sim.MultiResult, error) {
+func (c *Context) RunMix(benches []string, sp sim.Spec) (sim.MultiResult, error) {
 	if c.TraceDir != "" {
-		s.Trace = true
+		sp.Trace = true
 	}
-	r, err := c.Jobs().Multi(benches, c.Params, s)
+	r, err := c.Jobs().MultiSpec(benches, c.Params, sp)
 	if err != nil {
 		return r, err
 	}
@@ -142,7 +142,7 @@ func (c *Context) RunMix(benches []string, s sim.Setup) (sim.MultiResult, error)
 				continue
 			}
 			if werr := WriteTraceAs(c.TraceDir, coreTraceBase(benches, i, pc.Trace), pc.Trace); werr != nil {
-				c.noteTraceErr(fmt.Errorf("writing trace %s/%s: %w", mixLabel(benches), s.Name, werr))
+				c.noteTraceErr(fmt.Errorf("writing trace %s/%s: %w", mixLabel(benches), sp.Name, werr))
 			}
 		}
 	}
@@ -150,10 +150,10 @@ func (c *Context) RunMix(benches []string, s sim.Setup) (sim.MultiResult, error)
 }
 
 // runMulti is RunMix with failures recorded as job errors.
-func (c *Context) runMulti(benches []string, s sim.Setup) sim.MultiResult {
-	r, err := c.RunMix(benches, s)
+func (c *Context) runMulti(benches []string, sp sim.Spec) sim.MultiResult {
+	r, err := c.RunMix(benches, sp)
 	if err != nil {
-		c.noteJobErr(fmt.Errorf("job %s/%s: %w", mixLabel(benches), s.Name, err))
+		c.noteJobErr(fmt.Errorf("job %s/%s: %w", mixLabel(benches), sp.Name, err))
 	}
 	return r
 }
@@ -224,20 +224,23 @@ func (c *Context) Grid(bench string) *Grid {
 	g.Hints = g.Prof.Hints(0)
 
 	var wg sync.WaitGroup
-	launch := func(dst *sim.Result, s sim.Setup) {
+	launch := func(dst *sim.Result, sp sim.Spec) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			*dst = c.run(bench, s)
+			*dst = c.run(bench, sp)
 		}()
 	}
-	launch(&g.NoPF, sim.Setup{Name: "nopf"})
-	launch(&g.Base, sim.Setup{Name: "stream", Stream: true})
-	launch(&g.CDP, sim.Setup{Name: "stream+cdp", Stream: true, CDP: true, ProfilePGs: true})
-	launch(&g.CDPT, sim.Setup{Name: "stream+cdp+thr", Stream: true, CDP: true, Throttle: true})
-	launch(&g.ECDP, sim.Setup{Name: "stream+ecdp", Stream: true, CDP: true, Hints: g.Hints, ProfilePGs: true})
-	launch(&g.ECDPT, sim.Setup{Name: "stream+ecdp+thr", Stream: true, CDP: true, Hints: g.Hints, Throttle: true})
-	launch(&g.Ideal, sim.Setup{Name: "ideal-lds", Stream: true, IdealLDS: true})
+	launch(&g.NoPF, sim.NewSpec("nopf"))
+	launch(&g.Base, sim.NewSpec("stream", "stream"))
+	launch(&g.CDP, sim.Spec{Name: "stream+cdp", ProfilePGs: true,
+		Components: []sim.Component{{Kind: "stream"}, {Kind: "cdp"}}})
+	launch(&g.CDPT, sim.NewSpec("stream+cdp+thr", "stream", "cdp", "throttle"))
+	launch(&g.ECDP, sim.Spec{Name: "stream+ecdp", Hints: g.Hints, ProfilePGs: true,
+		Components: []sim.Component{{Kind: "stream"}, {Kind: "cdp"}}})
+	launch(&g.ECDPT, sim.NewSpec("stream+ecdp+thr", "stream", "cdp", "throttle").WithHints(g.Hints))
+	launch(&g.Ideal, sim.Spec{Name: "ideal-lds", IdealLDS: true,
+		Components: []sim.Component{{Kind: "stream"}}})
 	wg.Wait()
 
 	c.mu.Lock()

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"sync"
+
+	"ldsprefetch/internal/sim"
+)
+
+// CustomSpec runs a user-provided spec over the pointer-intensive suite next
+// to the stream baseline and reports relative performance and bandwidth —
+// the -spec entry point of the experiments CLI. The spec runs exactly as
+// given (hints, options, hardware overrides); only Name defaults when empty.
+func CustomSpec(c *Context, sp sim.Spec) Report {
+	if sp.Name == "" {
+		sp.Name = "spec"
+	}
+	benches := pointerBenches()
+	type pair struct{ base, res sim.Result }
+	outs := make([]pair, len(benches))
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			outs[i].base = c.run(b, sim.NewSpec("stream", "stream"))
+			outs[i].res = c.run(b, sp)
+		}(i, b)
+	}
+	wg.Wait()
+	r := Report{
+		ID:     "spec",
+		Title:  "Custom spec " + sp.Name + " vs the stream baseline",
+		Header: []string{"bench", "IPC", "IPC-rel", "BPKI", "BPKI-rel"},
+	}
+	var rel, bw []float64
+	for i, b := range benches {
+		o := outs[i]
+		ipcRel := safeDiv(o.res.IPC, o.base.IPC)
+		bwRel := safeDiv(o.res.BPKI, o.base.BPKI)
+		rel = append(rel, ipcRel)
+		bw = append(bw, bwRel)
+		r.Rows = append(r.Rows, []string{b, f3(o.res.IPC), f3(ipcRel),
+			f1(o.res.BPKI), f2(bwRel)})
+	}
+	r.Rows = append(r.Rows, []string{"gmean", "", f3(gmean(rel)), "", f2(gmean(bw))})
+	return r
+}

@@ -74,8 +74,8 @@ func Sec3Impl(c *Context) Report {
 				}
 			}
 			outs[i] = out{agree: agree, total: total,
-				res: c.run(b, sim.Setup{Name: "ecdp+thr(informing)", Stream: true,
-					CDP: true, Hints: hints, Throttle: true})}
+				res: c.run(b, sim.NewSpec("ecdp+thr(informing)",
+					"stream", "cdp", "throttle").WithHints(hints))}
 		}(i, b, grids[i])
 	}
 	wg.Wait()
@@ -121,11 +121,12 @@ func AblateBlockSize(c *Context) Report {
 		wg.Add(1)
 		go func(i int, b string, g *Grid) {
 			defer wg.Done()
-			outs[i].base = c.run(b, sim.Setup{Name: "stream-128B", Stream: true,
-				MemCfg: &mem128, DRAMCfg: &dram128})
-			outs[i].ours = c.run(b, sim.Setup{Name: "ecdp+thr-128B", Stream: true,
-				CDP: true, Hints: g.Hints, Throttle: true,
-				MemCfg: &mem128, DRAMCfg: &dram128})
+			base := sim.NewSpec("stream-128B", "stream")
+			base.MemCfg, base.DRAMCfg = &mem128, &dram128
+			outs[i].base = c.run(b, base)
+			ours := sim.NewSpec("ecdp+thr-128B", "stream", "cdp", "throttle").WithHints(g.Hints)
+			ours.MemCfg, ours.DRAMCfg = &mem128, &dram128
+			outs[i].ours = c.run(b, ours)
 		}(i, b, grids[i])
 	}
 	wg.Wait()

@@ -73,18 +73,18 @@ func (c *Context) runMix(benches []string) multiOutcome {
 	hints := c.hintsFor(benches)
 	var out multiOutcome
 	var wg sync.WaitGroup
-	launch := func(dst *sim.MultiResult, s sim.Setup) {
+	launch := func(dst *sim.MultiResult, sp sim.Spec) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			*dst = c.runMulti(benches, s)
+			*dst = c.runMulti(benches, sp)
 		}()
 	}
-	launch(&out.base, sim.Setup{Name: "stream", Stream: true})
-	launch(&out.ours, sim.Setup{Name: "ecdp+thr", Stream: true, CDP: true, Hints: hints, Throttle: true})
-	launch(&out.dbp, sim.Setup{Name: "stream+dbp", Stream: true, DBP: true})
-	launch(&out.markov, sim.Setup{Name: "stream+markov", Stream: true, Markov: true})
-	launch(&out.ghb, sim.Setup{Name: "ghb", GHB: true})
+	launch(&out.base, sim.NewSpec("stream", "stream"))
+	launch(&out.ours, sim.NewSpec("ecdp+thr", "stream", "cdp", "throttle").WithHints(hints))
+	launch(&out.dbp, sim.NewSpec("stream+dbp", "stream", "dbp"))
+	launch(&out.markov, sim.NewSpec("stream+markov", "stream", "markov"))
+	launch(&out.ghb, sim.NewSpec("ghb", "ghb"))
 	wg.Wait()
 	return out
 }

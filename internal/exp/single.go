@@ -262,11 +262,11 @@ func Fig11(c *Context) Report {
 		wg.Add(1)
 		go func(i int, b string, hints *core.HintTable) {
 			defer wg.Done()
-			extras[i].dbp = c.run(b, sim.Setup{Name: "stream+dbp", Stream: true, DBP: true})
-			extras[i].markov = c.run(b, sim.Setup{Name: "stream+markov", Stream: true, Markov: true})
-			extras[i].ghb = c.run(b, sim.Setup{Name: "ghb", GHB: true})
-			extras[i].ghbEcdp = c.run(b, sim.Setup{Name: "ghb+ecdp", GHB: true, CDP: true, Hints: hints})
-			extras[i].ghbEcdpT = c.run(b, sim.Setup{Name: "ghb+ecdp+thr", GHB: true, CDP: true, Hints: hints, Throttle: true})
+			extras[i].dbp = c.run(b, sim.NewSpec("stream+dbp", "stream", "dbp"))
+			extras[i].markov = c.run(b, sim.NewSpec("stream+markov", "stream", "markov"))
+			extras[i].ghb = c.run(b, sim.NewSpec("ghb", "ghb"))
+			extras[i].ghbEcdp = c.run(b, sim.NewSpec("ghb+ecdp", "cdp", "ghb").WithHints(hints))
+			extras[i].ghbEcdpT = c.run(b, sim.NewSpec("ghb+ecdp+thr", "cdp", "ghb", "throttle").WithHints(hints))
 		}(i, b, grids[i].Hints)
 	}
 	wg.Wait()
@@ -324,8 +324,8 @@ func Fig12(c *Context) Report {
 		wg.Add(1)
 		go func(i int, b string) {
 			defer wg.Done()
-			extras[i].filt = c.run(b, sim.Setup{Name: "cdp+hwfilter", Stream: true, CDP: true, HWFilter: true})
-			extras[i].filtT = c.run(b, sim.Setup{Name: "cdp+hwfilter+thr", Stream: true, CDP: true, HWFilter: true, Throttle: true})
+			extras[i].filt = c.run(b, sim.NewSpec("cdp+hwfilter", "stream", "cdp", "hwfilter"))
+			extras[i].filtT = c.run(b, sim.NewSpec("cdp+hwfilter+thr", "stream", "cdp", "throttle", "hwfilter"))
 		}(i, b)
 	}
 	wg.Wait()
@@ -375,7 +375,7 @@ func Fig13(c *Context) Report {
 		wg.Add(1)
 		go func(i int, b string, hints *core.HintTable) {
 			defer wg.Done()
-			fdpRes[i] = c.run(b, sim.Setup{Name: "ecdp+fdp", Stream: true, CDP: true, Hints: hints, FDP: true})
+			fdpRes[i] = c.run(b, sim.NewSpec("ecdp+fdp", "stream", "cdp", "fdp").WithHints(hints))
 		}(i, b, grids[i].Hints)
 	}
 	wg.Wait()
@@ -424,8 +424,8 @@ func Sec616(c *Context) Report {
 				prof = v.(*profiling.Profile)
 			}
 			hints := prof.Hints(0)
-			selfRes[i] = c.run(b, sim.Setup{Name: "ecdp+thr(self)", Stream: true,
-				CDP: true, Hints: hints, Throttle: true})
+			selfRes[i] = c.run(b,
+				sim.NewSpec("ecdp+thr(self)", "stream", "cdp", "throttle").WithHints(hints))
 		}(i, b)
 	}
 	wg.Wait()
@@ -483,7 +483,8 @@ func Sec23(c *Context) Report {
 		wg.Add(1)
 		go func(i int, b string) {
 			defer wg.Done()
-			noPol[i] = c.run(b, sim.Setup{Name: "cdp-nopollution", Stream: true, CDP: true, NoPollution: true})
+			noPol[i] = c.run(b, sim.Spec{Name: "cdp-nopollution", NoPollution: true,
+				Components: []sim.Component{{Kind: "stream"}, {Kind: "cdp"}}})
 		}(i, b)
 	}
 	wg.Wait()
@@ -513,7 +514,7 @@ func Sec72(c *Context) Report {
 		go func(i int, b string, g *Grid) {
 			defer wg.Done()
 			hints := g.Prof.CoarseHints(0)
-			coarse[i] = c.run(b, sim.Setup{Name: "grp-coarse", Stream: true, CDP: true, Hints: hints})
+			coarse[i] = c.run(b, sim.NewSpec("grp-coarse", "stream", "cdp").WithHints(hints))
 		}(i, b, grids[i])
 	}
 	wg.Wait()
@@ -546,7 +547,7 @@ func Sec74(c *Context) Report {
 		wg.Add(1)
 		go func(i int, b string, hints *core.HintTable) {
 			defer wg.Done()
-			pabRes[i] = c.run(b, sim.Setup{Name: "pab", Stream: true, CDP: true, Hints: hints, PAB: true})
+			pabRes[i] = c.run(b, sim.NewSpec("pab", "stream", "cdp", "pab").WithHints(hints))
 		}(i, b, grids[i].Hints)
 	}
 	wg.Wait()

@@ -270,7 +270,7 @@ func TestContextTraceDir(t *testing.T) {
 	c := NewContext()
 	c.Params = workload.Params{Scale: 0.05, Seed: 1}
 	c.TraceDir = dir
-	res := c.run("mst", traceSetup())
+	res := c.run("mst", traceSetup().Spec())
 	if res.Trace == nil {
 		t.Fatal("TraceDir must force telemetry on")
 	}

@@ -77,6 +77,10 @@ func TestKeyInvalidation(t *testing.T) {
 	add("kind+cores", AloneKey("mst", testParams, testSetup(), 2))
 	add("mix", SharedKey([]string{"mst", "health"}, testParams, testSetup()))
 
+	canon, err := testSetup().Spec().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
 	bumped := keyFromPayload(keyPayload{
 		Schema:  SchemaVersion + 1,
 		Kind:    "single",
@@ -84,9 +88,19 @@ func TestKeyInvalidation(t *testing.T) {
 		Scale:   testParams.Scale,
 		Seed:    testParams.Seed,
 		Cores:   1,
-		Setup:   canonicalSetup(testSetup()),
+		Spec:    canon,
 	})
 	add("schema version", bumped)
+
+	// A component factory version bump must also change the key: the
+	// canonical spec embeds per-factory versions.
+	withStream, err := testSetup().Spec().With(sim.NewComponent("stream", nil)).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(withStream), `"version"`) {
+		t.Fatalf("canonical spec carries no factory versions: %s", withStream)
+	}
 }
 
 func TestKeyIgnoresTrace(t *testing.T) {

@@ -1,6 +1,6 @@
 // Package jobs turns simulations into cacheable, retryable, observable
 // jobs. It provides a content-addressed result store keyed by a canonical
-// hash of the full simulation input (Setup, workload parameters, benchmark
+// hash of the full simulation input (Spec, workload parameters, benchmark
 // set, schema version), a bounded worker-pool scheduler with per-job panic
 // containment, timeout and retry, in-flight deduplication of identical
 // jobs, a journal that makes interrupted sweeps resumable, and counters
@@ -22,12 +22,22 @@ import (
 // result encoding. It participates in every cache key, so bumping it
 // invalidates the whole store: do so whenever a change makes previously
 // computed results stale (simulator behaviour, workload generation, metric
-// definitions, or the Result/MultiResult JSON shape).
-const SchemaVersion = 1
+// definitions, the Result/MultiResult JSON shape, or the canonical key
+// payload itself).
+//
+// Version history:
+//
+//	1 — canonical payload mirrored sim.Setup field by field (canonSetup).
+//	2 — canonical payload embeds sim.Spec.Canonical(): the declarative
+//	    component list with per-factory versions. Simulated results are
+//	    unchanged; only the key derivation moved, so version 1 objects are
+//	    unreachable (stale but harmless — prune old store directories).
+const SchemaVersion = 2
 
 // Key identifies one job's full input. Equal inputs hash equal; any change
-// to the setup, the workload parameters, the benchmark set, the machine
-// width, or SchemaVersion produces a different key.
+// to the spec, the workload parameters, the benchmark set, the machine
+// width, a component factory version, or SchemaVersion produces a different
+// key.
 type Key struct {
 	// Hash is the hex SHA-256 of the canonical payload.
 	Hash string
@@ -37,115 +47,29 @@ type Key struct {
 }
 
 // keyPayload is the canonical, versioned form of a job input. Field order
-// is fixed by the struct; maps are flattened to sorted slices; encoding is
-// deterministic.
+// is fixed by the struct; Spec is the deterministic encoding produced by
+// sim.Spec.Canonical (components with factory versions, sorted hint
+// triples, pointer configs expanded to value-or-null). Spec.Trace is
+// deliberately absent from that encoding: tracing is observation-only and
+// traced runs bypass the cache anyway.
 type keyPayload struct {
-	Schema  int        `json:"schema"`
-	Kind    string     `json:"kind"` // "single", "shared", or "alone"
-	Benches []string   `json:"benches"`
-	Scale   float64    `json:"scale"`
-	Seed    int64      `json:"seed"`
-	Cores   int        `json:"cores"` // memory-system width (alone/shared runs)
-	Setup   canonSetup `json:"setup"`
+	Schema  int             `json:"schema"`
+	Kind    string          `json:"kind"` // "single", "shared", or "alone"
+	Benches []string        `json:"benches"`
+	Scale   float64         `json:"scale"`
+	Seed    int64           `json:"seed"`
+	Cores   int             `json:"cores"` // memory-system width (alone/shared runs)
+	Spec    json.RawMessage `json:"spec"`
 }
 
-// canonSetup mirrors sim.Setup with every pointer field expanded to a
-// value-or-null and the hint table flattened to sorted (pc, pos, neg)
-// triples. Setup.Trace is deliberately absent: tracing is observation-only
-// and traced runs bypass the cache anyway.
-type canonSetup struct {
-	Name          string          `json:"name"`
-	Stream        bool            `json:"stream"`
-	CDP           bool            `json:"cdp"`
-	Hints         []hintEntry     `json:"hints,omitempty"`
-	Markov        bool            `json:"markov"`
-	GHB           bool            `json:"ghb"`
-	DBP           bool            `json:"dbp"`
-	Throttle      bool            `json:"throttle"`
-	FDP           bool            `json:"fdp"`
-	PAB           bool            `json:"pab"`
-	HWFilter      bool            `json:"hwfilter"`
-	HWFilterBits  int             `json:"hwfilter_bits"`
-	IdealLDS      bool            `json:"ideal_lds"`
-	NoPollution   bool            `json:"no_pollution"`
-	ProfilePGs    bool            `json:"profile_pgs"`
-	Thresholds    json.RawMessage `json:"thresholds"`
-	FDPThresholds json.RawMessage `json:"fdp_thresholds"`
-	IntervalLen   int             `json:"interval_len"`
-	MemCfg        json.RawMessage `json:"mem_cfg"`
-	CPUCfg        json.RawMessage `json:"cpu_cfg"`
-	DRAMCfg       json.RawMessage `json:"dram_cfg"`
-	InitialLevel  *int            `json:"initial_level"`
-}
-
-type hintEntry struct {
-	PC  uint32 `json:"pc"`
-	Pos uint32 `json:"pos"`
-	Neg uint32 `json:"neg"`
-}
-
-// rawOrNull marshals v (a pointer to a plain-value config struct) or emits
-// JSON null when it is nil. The config structs contain only scalar exported
-// fields, so encoding/json is deterministic for them.
-func rawOrNull(v any) json.RawMessage {
-	if v == nil {
-		return json.RawMessage("null")
-	}
-	b, err := json.Marshal(v)
+// newKey builds the canonical key for one job. It fails only when the spec
+// does not canonicalize (unknown component kind or undecodable options) —
+// exactly the specs Validate rejects.
+func newKey(kind string, benches []string, cores int, p workload.Params, sp sim.Spec) (Key, error) {
+	canon, err := sp.Canonical()
 	if err != nil {
-		// Config structs are scalar-only; Marshal cannot fail on them.
-		panic(fmt.Sprintf("jobs: canonical encode: %v", err))
+		return Key{}, err
 	}
-	return b
-}
-
-func canonicalSetup(s sim.Setup) canonSetup {
-	cs := canonSetup{
-		Name:         s.Name,
-		Stream:       s.Stream,
-		CDP:          s.CDP,
-		Markov:       s.Markov,
-		GHB:          s.GHB,
-		DBP:          s.DBP,
-		Throttle:     s.Throttle,
-		FDP:          s.FDP,
-		PAB:          s.PAB,
-		HWFilter:     s.HWFilter,
-		HWFilterBits: s.HWFilterBits,
-		IdealLDS:     s.IdealLDS,
-		NoPollution:  s.NoPollution,
-		ProfilePGs:   s.ProfilePGs,
-		IntervalLen:  s.IntervalLen,
-	}
-	if s.Hints != nil {
-		for _, pc := range s.Hints.PCs() { // PCs() is sorted: map order cannot leak
-			v, _ := s.Hints.Lookup(pc)
-			cs.Hints = append(cs.Hints, hintEntry{PC: pc, Pos: v.Pos, Neg: v.Neg})
-		}
-	}
-	cs.Thresholds = rawOrNull(nilable(s.Thresholds))
-	cs.FDPThresholds = rawOrNull(nilable(s.FDPThresholds))
-	cs.MemCfg = rawOrNull(nilable(s.MemCfg))
-	cs.CPUCfg = rawOrNull(nilable(s.CPUCfg))
-	cs.DRAMCfg = rawOrNull(nilable(s.DRAMCfg))
-	if s.InitialLevel != nil {
-		lv := int(*s.InitialLevel)
-		cs.InitialLevel = &lv
-	}
-	return cs
-}
-
-// nilable converts a typed nil pointer into an untyped nil so rawOrNull can
-// test it.
-func nilable[T any](p *T) any {
-	if p == nil {
-		return nil
-	}
-	return p
-}
-
-// newKey builds the canonical key for one job.
-func newKey(kind string, benches []string, cores int, p workload.Params, s sim.Setup) Key {
 	return keyFromPayload(keyPayload{
 		Schema:  SchemaVersion,
 		Kind:    kind,
@@ -153,8 +77,8 @@ func newKey(kind string, benches []string, cores int, p workload.Params, s sim.S
 		Scale:   p.Scale,
 		Seed:    p.Seed,
 		Cores:   cores,
-		Setup:   canonicalSetup(s),
-	})
+		Spec:    canon,
+	}), nil
 }
 
 func keyFromPayload(pl keyPayload) Key {
@@ -166,18 +90,42 @@ func keyFromPayload(pl keyPayload) Key {
 	return Key{Hash: hex.EncodeToString(h[:]), canonical: b}
 }
 
-// SingleKey is the cache key of a RunSingle job.
-func SingleKey(bench string, p workload.Params, s sim.Setup) Key {
-	return newKey("single", []string{bench}, 1, p, s)
+// SingleSpecKey is the cache key of a RunSingleSpec job.
+func SingleSpecKey(bench string, p workload.Params, sp sim.Spec) (Key, error) {
+	return newKey("single", []string{bench}, 1, p, sp)
 }
 
-// SharedKey is the cache key of the shared portion of a multi-core job.
-func SharedKey(benches []string, p workload.Params, s sim.Setup) Key {
-	return newKey("shared", benches, len(benches), p, s)
+// SharedSpecKey is the cache key of the shared portion of a multi-core job.
+func SharedSpecKey(benches []string, p workload.Params, sp sim.Spec) (Key, error) {
+	return newKey("shared", benches, len(benches), p, sp)
 }
 
-// AloneKey is the cache key of one alone-run normalization job on a
+// AloneSpecKey is the cache key of one alone-run normalization job on a
 // cores-wide machine.
+func AloneSpecKey(bench string, p workload.Params, sp sim.Spec, cores int) (Key, error) {
+	return newKey("alone", []string{bench}, cores, p, sp)
+}
+
+// mustKey unwraps a key derivation that cannot fail: a Setup conversion
+// only emits registered component kinds with marshalable options.
+func mustKey(k Key, err error) Key {
+	if err != nil {
+		panic(fmt.Sprintf("jobs: canonical encode: %v", err))
+	}
+	return k
+}
+
+// SingleKey is SingleSpecKey for a legacy sim.Setup.
+func SingleKey(bench string, p workload.Params, s sim.Setup) Key {
+	return mustKey(SingleSpecKey(bench, p, s.Spec()))
+}
+
+// SharedKey is SharedSpecKey for a legacy sim.Setup.
+func SharedKey(benches []string, p workload.Params, s sim.Setup) Key {
+	return mustKey(SharedSpecKey(benches, p, s.Spec()))
+}
+
+// AloneKey is AloneSpecKey for a legacy sim.Setup.
 func AloneKey(bench string, p workload.Params, s sim.Setup, cores int) Key {
-	return newKey("alone", []string{bench}, cores, p, s)
+	return mustKey(AloneSpecKey(bench, p, s.Spec(), cores))
 }

@@ -1,0 +1,65 @@
+package jobs
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/sim"
+	"ldsprefetch/internal/workload"
+)
+
+// TestGoldenKeys pins the exact SHA-256 cache keys of representative jobs
+// under SchemaVersion 2. These hashes are the store's addressing scheme: if
+// this test fails, previously cached results are unreachable (or, worse,
+// reachable under a key that no longer means what it did). An intentional
+// change — a component Version bump, a canonical-encoding change — must come
+// with a SchemaVersion bump or a factory Version bump, an ORCHESTRATION.md
+// note, and regenerated hashes here.
+func TestGoldenKeys(t *testing.T) {
+	p := workload.Params{Scale: 0.05, Seed: 7}
+	h := core.NewHintTable()
+	h.Set(0x40, core.HintVec{Pos: 3, Neg: 1})
+	stream := sim.NewSpec("stream", "stream")
+	ecdpt := sim.NewSpec("stream+ecdp+thr", "stream", "cdp", "throttle").WithHints(h)
+
+	golden := []struct {
+		name string
+		key  func() (Key, error)
+		want string
+	}{
+		{"single/stream", func() (Key, error) { return SingleSpecKey("mst", p, stream) },
+			"1aa09612cf8deba80873ebd4cf128adcc9272431cf860b365419e4b1a51db17f"},
+		{"single/ecdp+thr", func() (Key, error) { return SingleSpecKey("mst", p, ecdpt) },
+			"6c0afc22c6352b872ecd5c8c6ec363ed062353e66c6ca6574f09c9f7604dbe2e"},
+		{"shared/ecdp+thr", func() (Key, error) { return SharedSpecKey([]string{"mst", "health"}, p, ecdpt) },
+			"17dc522bfec0a39dbb2bd33e7e5be347cbc151fce62b53022a9af6a31e5ed542"},
+		{"alone/ecdp+thr/2", func() (Key, error) { return AloneSpecKey("mst", p, ecdpt, 2) },
+			"75b9503803e8d7ca9267fe754878ae7fa3598e76c4e30c7e8389c316f9e8dc9c"},
+	}
+	for _, g := range golden {
+		k, err := g.key()
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		if k.Hash != g.want {
+			t.Errorf("%s: key drifted\n got %s\nwant %s\ncanonical payload: %s",
+				g.name, k.Hash, g.want, k.canonical)
+		}
+	}
+}
+
+// TestGoldenKeysSetupPath asserts the legacy Setup wrappers derive the very
+// same keys, so a store populated through Setup-based callers stays warm for
+// spec-based ones.
+func TestGoldenKeysSetupPath(t *testing.T) {
+	p := workload.Params{Scale: 0.05, Seed: 7}
+	setup := sim.Setup{Name: "stream", Stream: true}
+	specKey, err := SingleSpecKey("mst", p, sim.NewSpec("stream", "stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SingleKey("mst", p, setup); got.Hash != specKey.Hash {
+		t.Fatalf("Setup and Spec paths derive different keys: %s vs %s",
+			got.Hash, specKey.Hash)
+	}
+}

@@ -343,21 +343,39 @@ func (s *Scheduler) verifyHit(d jobDesc, cached any, run func() (any, error)) er
 	return nil
 }
 
-// Single runs benchmark bench under setup as one job. Traced runs
-// (setup.Trace) bypass the cache: telemetry is not stored.
-func (s *Scheduler) Single(bench string, p workload.Params, setup sim.Setup) (sim.Result, error) {
+// rejectSpec records a spec that failed validation as a failed job, so
+// invalid cells surface in sweep records and metrics like any other failure.
+func (s *Scheduler) rejectSpec(kind string, benches []string, name string, err error) error {
+	s.sinks(func(m *Metrics) { m.Submitted.Add(1); m.Failed.Add(1) })
+	s.record(Record{Kind: kind, Benchmarks: benches, Setup: name,
+		Provenance: "failed", Error: err.Error()}, 0)
+	return err
+}
+
+// SingleSpec runs benchmark bench under sp as one job. The spec is
+// validated first; a typed *sim.SpecError is returned (and recorded as a
+// failed job) without consuming a worker slot. Traced runs (sp.Trace)
+// bypass the cache: telemetry is not stored.
+func (s *Scheduler) SingleSpec(bench string, p workload.Params, sp sim.Spec) (sim.Result, error) {
+	fail := sim.Result{Benchmark: bench, Setup: sp.Name}
+	if err := sp.Validate(); err != nil {
+		return fail, s.rejectSpec("single", []string{bench}, sp.Name, err)
+	}
 	d := jobDesc{
 		kind:      "single",
 		benches:   []string{bench},
-		setupName: setup.Name,
-		cacheable: !setup.Trace,
+		setupName: sp.Name,
+		cacheable: !sp.Trace,
 	}
 	if d.cacheable {
-		d.key = SingleKey(bench, p, setup)
+		var err error
+		if d.key, err = SingleSpecKey(bench, p, sp); err != nil {
+			return fail, s.rejectSpec("single", []string{bench}, sp.Name, err)
+		}
 	}
 	v, err := s.do(d,
 		func() (any, error) {
-			r, err := sim.RunSingle(bench, p, setup)
+			r, err := sim.RunSingleSpec(bench, p, sp)
 			if err != nil {
 				return nil, err
 			}
@@ -365,34 +383,54 @@ func (s *Scheduler) Single(bench string, p workload.Params, setup sim.Setup) (si
 		},
 		func() any { return new(sim.Result) })
 	if err != nil {
-		return sim.Result{Benchmark: bench, Setup: setup.Name}, err
+		return fail, err
 	}
 	return *(v.(*sim.Result)), nil
 }
 
-// Multi runs the benchmarks as a multi-core mix. The shared run and each
-// alone-run normalization execute as separate jobs, so alone runs are
+// Single is SingleSpec for a legacy sim.Setup.
+func (s *Scheduler) Single(bench string, p workload.Params, setup sim.Setup) (sim.Result, error) {
+	return s.SingleSpec(bench, p, setup.Spec())
+}
+
+// MultiSpec runs the benchmarks as a multi-core mix. The shared run and
+// each alone-run normalization execute as separate jobs, so alone runs are
 // cached and shared across every mix (and every sweep) that needs them.
-func (s *Scheduler) Multi(benches []string, p workload.Params, setup sim.Setup) (sim.MultiResult, error) {
+// Like SingleSpec, an invalid spec fails with a typed error up front.
+func (s *Scheduler) MultiSpec(benches []string, p workload.Params, sp sim.Spec) (sim.MultiResult, error) {
 	n := len(benches)
 	if n == 0 {
 		return sim.MultiResult{}, fmt.Errorf("jobs: empty benchmark mix")
+	}
+	fail := sim.MultiResult{Benchmarks: benches, Setup: sp.Name}
+	if err := sp.Validate(); err != nil {
+		return fail, s.rejectSpec("shared", benches, sp.Name, err)
 	}
 
 	sharedDesc := jobDesc{
 		kind:      "shared",
 		benches:   benches,
-		setupName: setup.Name,
-		cacheable: !setup.Trace,
+		setupName: sp.Name,
+		cacheable: !sp.Trace,
 	}
 	if sharedDesc.cacheable {
-		sharedDesc.key = SharedKey(benches, p, setup)
+		var err error
+		if sharedDesc.key, err = SharedSpecKey(benches, p, sp); err != nil {
+			return fail, s.rejectSpec("shared", benches, sp.Name, err)
+		}
 	}
 	// Alone runs never need telemetry: their only consumer is speedup
 	// normalization, and tracing is observation-only, so stripping it keeps
 	// them cacheable even inside traced sweeps.
-	aloneSetup := setup
-	aloneSetup.Trace = false
+	aloneSpec := sp
+	aloneSpec.Trace = false
+	aloneKeys := make([]Key, n)
+	for i, b := range benches {
+		var err error
+		if aloneKeys[i], err = AloneSpecKey(b, p, aloneSpec, n); err != nil {
+			return fail, s.rejectSpec("alone", []string{b}, sp.Name, err)
+		}
+	}
 
 	var (
 		wg        sync.WaitGroup
@@ -406,7 +444,7 @@ func (s *Scheduler) Multi(benches []string, p workload.Params, setup sim.Setup) 
 		defer wg.Done()
 		v, err := s.do(sharedDesc,
 			func() (any, error) {
-				mr, err := sim.RunShared(benches, p, setup)
+				mr, err := sim.RunSharedSpec(benches, p, sp)
 				if err != nil {
 					return nil, err
 				}
@@ -427,12 +465,12 @@ func (s *Scheduler) Multi(benches []string, p workload.Params, setup sim.Setup) 
 			v, err := s.do(jobDesc{
 				kind:      "alone",
 				benches:   []string{b},
-				setupName: aloneSetup.Name,
-				key:       AloneKey(b, p, aloneSetup, n),
+				setupName: aloneSpec.Name,
+				key:       aloneKeys[i],
 				cacheable: true,
 			},
 				func() (any, error) {
-					r, err := sim.RunAlone(b, p, aloneSetup, n)
+					r, err := sim.RunAloneSpec(b, p, aloneSpec, n)
 					if err != nil {
 						return nil, err
 					}
@@ -449,16 +487,20 @@ func (s *Scheduler) Multi(benches []string, p workload.Params, setup sim.Setup) 
 	wg.Wait()
 
 	if sharedErr != nil {
-		return sim.MultiResult{Benchmarks: benches, Setup: setup.Name}, sharedErr
+		return fail, sharedErr
 	}
 	for i, err := range aloneErrs {
 		if err != nil {
-			return sim.MultiResult{Benchmarks: benches, Setup: setup.Name},
-				fmt.Errorf("alone run %s: %w", benches[i], err)
+			return fail, fmt.Errorf("alone run %s: %w", benches[i], err)
 		}
 	}
 	shared.Normalize(alone)
 	return shared, nil
+}
+
+// Multi is MultiSpec for a legacy sim.Setup.
+func (s *Scheduler) Multi(benches []string, p workload.Params, setup sim.Setup) (sim.MultiResult, error) {
+	return s.MultiSpec(benches, p, setup.Spec())
 }
 
 // Do runs fn as one uncacheable job under the worker pool: bounded

@@ -182,6 +182,7 @@ func suffixScope(suffixes ...string) func(string) bool {
 // changes reported numbers or cache keys.
 var simCorePackages = []string{
 	"internal/sim",
+	"internal/sim/registry",
 	"internal/memsys",
 	"internal/dram",
 	"internal/cpu",

@@ -81,17 +81,22 @@ func New(opts Options) (*Server, error) {
 }
 
 // sweepRequest is the POST /api/v1/sweeps body. Exactly one of Experiment
-// or Benchmarks+{Configs|Setups} must be set.
+// or Benchmarks+{Configs|Specs|Setups} must be set.
 type sweepRequest struct {
 	// Experiment is a registered experiment id ("fig1", ..., "all").
 	Experiment string `json:"experiment,omitempty"`
-	// Benchmarks + Configs/Setups describe a raw sweep: every benchmark
-	// runs under every configuration. Configs are the named CLI
-	// configurations; Setups are raw sim.Setup values (power-user API, not
-	// validated beyond JSON shape — a setup that panics the simulator is
-	// contained and reported as a failed job).
+	// Benchmarks + Configs/Specs/Setups describe a raw sweep: every
+	// benchmark runs under every configuration. Configs are the named CLI
+	// configurations. Specs are declarative sim.Spec values; they are
+	// validated against the component registry at submit and rejected with
+	// the known-component catalog on error. Setups are legacy flag-bag
+	// sim.Setup values (kept for compatibility; validated through the same
+	// spec conversion). Hardware overrides are not statically validated —
+	// a config that panics the simulator is contained and reported as a
+	// failed job.
 	Benchmarks []string    `json:"benchmarks,omitempty"`
 	Configs    []string    `json:"configs,omitempty"`
+	Specs      []sim.Spec  `json:"specs,omitempty"`
 	Setups     []sim.Setup `json:"setups,omitempty"`
 	// Scale/Seed are the workload input parameters (defaults 1.0 / 1).
 	Scale float64 `json:"scale,omitempty"`
@@ -130,7 +135,7 @@ func (s *Server) validate(req *sweepRequest) error {
 		return fmt.Errorf("scale must be a positive number, got %v", req.Scale)
 	}
 	if req.Experiment != "" {
-		if len(req.Benchmarks) > 0 || len(req.Configs) > 0 || len(req.Setups) > 0 {
+		if len(req.Benchmarks) > 0 || len(req.Configs) > 0 || len(req.Specs) > 0 || len(req.Setups) > 0 {
 			return fmt.Errorf("submit either an experiment or a raw sweep, not both")
 		}
 		if _, err := exp.Plan(req.Experiment); err != nil {
@@ -146,11 +151,33 @@ func (s *Server) validate(req *sweepRequest) error {
 			return err
 		}
 	}
-	if len(req.Configs) == 0 && len(req.Setups) == 0 {
-		return fmt.Errorf("raw sweep needs configs or setups")
+	if len(req.Configs) == 0 && len(req.Specs) == 0 && len(req.Setups) == 0 {
+		return fmt.Errorf("raw sweep needs configs, specs, or setups")
 	}
 	for _, cfg := range req.Configs {
 		if _, err := sim.Named(cfg, nil); err != nil {
+			return err
+		}
+	}
+	// Specs and legacy Setups are validated against the component registry
+	// here, so an unknown component, a throttle+fdp conflict, hints without
+	// a consumer, or bad options come back as a 400 with an actionable
+	// message (the unknown-component error carries the full catalog) instead
+	// of a failed job.
+	for i, sp := range req.Specs {
+		if sp.Name == "" {
+			sp.Name = "spec" + strconv.Itoa(i)
+		}
+		if err := sp.Validate(); err != nil {
+			return err
+		}
+	}
+	for i, st := range req.Setups {
+		sp := st.Spec()
+		if sp.Name == "" {
+			sp.Name = "setup" + strconv.Itoa(i)
+		}
+		if err := sp.Validate(); err != nil {
 			return err
 		}
 	}
@@ -283,36 +310,47 @@ func (s *Server) runRaw(sw *sweep, params, train workload.Params) ([]exp.Report,
 		res           sim.Result
 		err           error
 	}
-	var setups []struct {
+	// Every configuration form — named config, declarative spec, legacy
+	// setup — narrows to one shape here: a labelled sim.Spec constructor.
+	// The scheduler and the cache key layer only ever see specs.
+	var specs []struct {
 		label string
-		mk    func(bench string) sim.Setup
+		mk    func(bench string) sim.Spec
 	}
 	for _, cfg := range sw.req.Configs {
 		cfg := cfg
-		setups = append(setups, struct {
+		specs = append(specs, struct {
 			label string
-			mk    func(bench string) sim.Setup
-		}{cfg, func(bench string) sim.Setup {
-			setup, _ := sim.Named(cfg, hints[bench]) // validated at submit
-			return setup
+			mk    func(bench string) sim.Spec
+		}{cfg, func(bench string) sim.Spec {
+			sp, _ := sim.Named(cfg, hints[bench]) // validated at submit
+			return sp
 		}})
 	}
-	for i := range sw.req.Setups {
-		st := sw.req.Setups[i]
-		label := st.Name
-		if label == "" {
-			label = "setup" + strconv.Itoa(i)
-			st.Name = label
+	for i := range sw.req.Specs {
+		sp := sw.req.Specs[i]
+		if sp.Name == "" {
+			sp.Name = "spec" + strconv.Itoa(i)
 		}
-		setups = append(setups, struct {
+		specs = append(specs, struct {
 			label string
-			mk    func(bench string) sim.Setup
-		}{label, func(string) sim.Setup { return st }})
+			mk    func(bench string) sim.Spec
+		}{sp.Name, func(string) sim.Spec { return sp }})
+	}
+	for i := range sw.req.Setups {
+		sp := sw.req.Setups[i].Spec()
+		if sp.Name == "" {
+			sp.Name = "setup" + strconv.Itoa(i)
+		}
+		specs = append(specs, struct {
+			label string
+			mk    func(bench string) sim.Spec
+		}{sp.Name, func(string) sim.Spec { return sp }})
 	}
 
-	cells := make([]cell, 0, len(sw.req.Benchmarks)*len(setups))
+	cells := make([]cell, 0, len(sw.req.Benchmarks)*len(specs))
 	for _, b := range sw.req.Benchmarks {
-		for _, st := range setups {
+		for _, st := range specs {
 			cells = append(cells, cell{bench: b, config: st.label})
 		}
 	}
@@ -320,14 +358,14 @@ func (s *Server) runRaw(sw *sweep, params, train workload.Params) ([]exp.Report,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			var mk func(string) sim.Setup
-			for _, st := range setups {
+			var mk func(string) sim.Spec
+			for _, st := range specs {
 				if st.label == cells[i].config {
 					mk = st.mk
 					break
 				}
 			}
-			cells[i].res, cells[i].err = sw.sched.Single(cells[i].bench, params, mk(cells[i].bench))
+			cells[i].res, cells[i].err = sw.sched.SingleSpec(cells[i].bench, params, mk(cells[i].bench))
 			if cells[i].err != nil {
 				note(fmt.Errorf("job %s/%s: %w", cells[i].bench, cells[i].config, cells[i].err))
 			}

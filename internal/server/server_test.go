@@ -263,6 +263,86 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+// TestRawSweepSpecs drives the declarative path end-to-end: a sweep
+// submitted as sim.Spec JSON documents runs through the registry assembler
+// and reports per-cell results.
+func TestRawSweepSpecs(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	st := postSweep(t, ts, sweepRequest{
+		Benchmarks: []string{"mst"},
+		Specs: []sim.Spec{
+			sim.NewSpec("stream-only", "stream"),
+			sim.NewSpec("hybrid", "stream", "cdp", "throttle"),
+		},
+		Scale: 0.05,
+		Seed:  5,
+	})
+	if st.Kind != "raw" {
+		t.Fatalf("submit returned %+v", st)
+	}
+	st = waitDone(t, ts, st.ID)
+	if len(st.FailedJobs) > 0 {
+		t.Fatalf("failed jobs: %v", st.FailedJobs)
+	}
+	text := fetchText(t, ts, "/api/v1/sweeps/"+st.ID+"/report?format=text", http.StatusOK)
+	for _, want := range []string{"stream-only", "hybrid", "ok"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSubmitSpecValidation asserts invalid specs are rejected at submit with
+// 400 and an actionable message — unknown kinds list the component catalog,
+// composition conflicts name the fighting components — for both the specs
+// field and legacy setups (validated through the same conversion).
+func TestSubmitSpecValidation(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	cases := []struct {
+		name, body, wantMsg string
+	}{
+		{"unknown component",
+			`{"benchmarks":["mst"],"specs":[{"name":"x","components":[{"kind":"warp-drive"}]}]}`,
+			"known components"},
+		{"throttle+fdp conflict",
+			`{"benchmarks":["mst"],"specs":[{"name":"x","components":[{"kind":"stream"},{"kind":"throttle"},{"kind":"fdp"}]}]}`,
+			"claim prefetcher aggressiveness control"},
+		{"negative hwfilter bits",
+			`{"benchmarks":["mst"],"specs":[{"name":"x","components":[{"kind":"stream"},{"kind":"cdp"},{"kind":"hwfilter","options":{"bits":-8}}]}]}`,
+			"bits must be >= 0"},
+		{"pab without switchable pair",
+			`{"benchmarks":["mst"],"specs":[{"name":"x","components":[{"kind":"stream"},{"kind":"pab"}]}]}`,
+			"switchable"},
+		{"hints without consumer",
+			`{"benchmarks":["mst"],"specs":[{"name":"x","components":[{"kind":"stream"}],"hints":[{"pc":16,"pos":1,"neg":0}]}]}`,
+			"no component consumes them"},
+		{"misspelled option",
+			`{"benchmarks":["mst"],"specs":[{"name":"x","components":[{"kind":"stream","options":{"streems":4}}]}]}`,
+			"streems"},
+		{"legacy setup throttle+fdp",
+			`{"benchmarks":["mst"],"setups":[{"Name":"x","Stream":true,"Throttle":true,"FDP":true}]}`,
+			"claim prefetcher aggressiveness control"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, b)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(b, &e); err != nil || e["error"] == "" {
+			t.Fatalf("%s: malformed error body %s", tc.name, b)
+		}
+		if !strings.Contains(e["error"], tc.wantMsg) {
+			t.Fatalf("%s: error %q does not contain %q", tc.name, e["error"], tc.wantMsg)
+		}
+	}
+}
+
 // TestGracefulDrain verifies the SIGTERM path's server half: Drain stops new
 // submissions with 503, blocks until in-flight sweeps finish, and leaves the
 // status/report endpoints (and the already-accepted sweep's results) intact.

@@ -1,0 +1,50 @@
+package registry
+
+import (
+	"fmt"
+
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/prefetch"
+)
+
+// CDPOptions parameterizes the content-directed prefetcher. The hint table
+// that turns CDP into ECDP is spec-level input (BuildEnv.Hints), not an
+// option: hints are profiled per benchmark, options describe hardware.
+type CDPOptions struct {
+	// CompareBits is the number of high-order address bits compared when
+	// guessing whether a scanned value is a pointer (0 = the paper's 8).
+	CompareBits int `json:"compare_bits,omitempty"`
+	// AttributeRecursion attributes recursive prefetches to the root
+	// pointer group (see core.CDPConfig; off reproduces the paper).
+	AttributeRecursion bool `json:"attribute_recursion,omitempty"`
+}
+
+func init() {
+	RegisterPrefetcher(&Prefetcher{
+		Kind:          "cdp",
+		Version:       1,
+		Throttleable:  true,
+		Switchable:    true,
+		ConsumesHints: true,
+		NewOptions:    func() any { return new(CDPOptions) },
+		Validate: func(opts any) error {
+			if o := opts.(*CDPOptions); o.CompareBits < 0 || o.CompareBits > 32 {
+				return fmt.Errorf("compare_bits must be in [0, 32], got %d", o.CompareBits)
+			}
+			return nil
+		},
+		Build: func(env *BuildEnv, opts any) (Instance, error) {
+			o := opts.(*CDPOptions)
+			cfg := core.DefaultCDPConfig()
+			cfg.BlockSize = env.BlockSize
+			cfg.Hints = env.Hints
+			if o.CompareBits != 0 {
+				cfg.CompareBits = o.CompareBits
+			}
+			cfg.AttributeRecursion = o.AttributeRecursion
+			cd := core.NewCDP(cfg, env.MS)
+			return Instance{Prefetcher: cd, Source: prefetch.SrcCDP,
+				Throttleable: cd, Switchable: cd}, nil
+		},
+	})
+}

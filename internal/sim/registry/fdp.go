@@ -1,0 +1,48 @@
+package registry
+
+import (
+	"ldsprefetch/internal/baselines/fdp"
+)
+
+// FDPOptions parameterizes the feedback-directed prefetching baseline
+// (Srinath et al.), which throttles each prefetcher on its own metrics.
+type FDPOptions struct {
+	// Thresholds overrides the FDP decision thresholds
+	// (nil = fdp.DefaultThresholds).
+	Thresholds *fdp.Thresholds `json:"thresholds,omitempty"`
+}
+
+type fdpController struct {
+	ctl *fdp.Controller
+	n   int
+}
+
+func (c *fdpController) Attach(inst Instance) {
+	if inst.Throttleable != nil {
+		c.ctl.Add(inst.Source, inst.Throttleable)
+		c.n++
+	}
+}
+
+func (c *fdpController) Install() {
+	if c.n == 0 {
+		return
+	}
+	c.ctl.Install()
+}
+
+func init() {
+	RegisterPolicy(&Policy{
+		Kind:           "fdp",
+		Version:        1,
+		ClaimsThrottle: true,
+		NewOptions:     func() any { return new(FDPOptions) },
+		Build: func(env *BuildEnv, opts any) Controller {
+			th := fdp.DefaultThresholds()
+			if o := opts.(*FDPOptions); o.Thresholds != nil {
+				th = *o.Thresholds
+			}
+			return &fdpController{ctl: fdp.NewController(th, env.MS.Feedback())}
+		},
+	})
+}

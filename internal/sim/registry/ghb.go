@@ -1,0 +1,38 @@
+package registry
+
+import (
+	"fmt"
+
+	"ldsprefetch/internal/baselines/ghb"
+	"ldsprefetch/internal/prefetch"
+)
+
+// GHBOptions parameterizes the G/DC global-history-buffer baseline.
+type GHBOptions struct {
+	// Entries sizes the history buffer and index table (0 = 1024).
+	Entries int `json:"entries,omitempty"`
+}
+
+func init() {
+	RegisterPrefetcher(&Prefetcher{
+		Kind:         "ghb",
+		Version:      1,
+		Throttleable: true,
+		NewOptions:   func() any { return new(GHBOptions) },
+		Validate: func(opts any) error {
+			if o := opts.(*GHBOptions); o.Entries < 0 {
+				return fmt.Errorf("entries must be >= 0, got %d", o.Entries)
+			}
+			return nil
+		},
+		Build: func(env *BuildEnv, opts any) (Instance, error) {
+			n := opts.(*GHBOptions).Entries
+			if n == 0 {
+				n = 1024
+			}
+			gh := ghb.New(n, env.BlockShift, env.MS)
+			return Instance{Prefetcher: gh, Source: prefetch.SrcGHB,
+				Throttleable: gh}, nil
+		},
+	})
+}

@@ -1,0 +1,66 @@
+package registry
+
+import (
+	"fmt"
+
+	"ldsprefetch/internal/baselines/hwfilter"
+	"ldsprefetch/internal/prefetch"
+)
+
+// HWFilterOptions parameterizes the Zhuang-Lee hardware pollution filter
+// that gates CDP requests.
+type HWFilterOptions struct {
+	// Bits sizes the filter table (0 = the paper's 8 KB = 65536 bits).
+	Bits int `json:"bits,omitempty"`
+}
+
+// hwFilterController wires the filter into the memory system's prefetch
+// gate and outcome hook at install time. It attaches to no prefetcher: the
+// filter keys on the request source, not on prefetcher instances.
+type hwFilterController struct {
+	env  *BuildEnv
+	bits int
+}
+
+func (c *hwFilterController) Attach(Instance) {}
+
+func (c *hwFilterController) Install() {
+	f := hwfilter.New(c.bits, c.env.BlockShift)
+	ms := c.env.MS
+	ms.FilterPrefetch = func(r prefetch.Request) bool {
+		if r.Src != prefetch.SrcCDP {
+			return true
+		}
+		return f.Allow(r)
+	}
+	prevOutcome := ms.OnPrefetchOutcome
+	ms.OnPrefetchOutcome = func(blk uint32, src prefetch.Source, used bool) {
+		if prevOutcome != nil {
+			prevOutcome(blk, src, used)
+		}
+		if src == prefetch.SrcCDP {
+			f.Outcome(blk, src, used)
+		}
+	}
+}
+
+func init() {
+	RegisterPolicy(&Policy{
+		Kind:       "hwfilter",
+		Version:    1,
+		NewOptions: func() any { return new(HWFilterOptions) },
+		Validate: func(opts any) error {
+			if o := opts.(*HWFilterOptions); o.Bits < 0 {
+				return fmt.Errorf("bits must be >= 0 (0 = the default 65536), got %d", o.Bits)
+			}
+			return nil
+		},
+		Build: func(env *BuildEnv, opts any) Controller {
+			bits := opts.(*HWFilterOptions).Bits
+			if bits == 0 {
+				bits = 8 << 10 * 8
+			}
+			return &hwFilterController{env: env, bits: bits}
+		},
+	})
+}

@@ -1,0 +1,38 @@
+package registry
+
+import (
+	"fmt"
+
+	"ldsprefetch/internal/baselines/markov"
+	"ldsprefetch/internal/prefetch"
+)
+
+// MarkovOptions parameterizes the Markov correlation prefetcher baseline.
+type MarkovOptions struct {
+	// TableEntries sizes the correlation table (0 = the paper's 1 MB table).
+	TableEntries int `json:"table_entries,omitempty"`
+}
+
+func init() {
+	RegisterPrefetcher(&Prefetcher{
+		Kind:         "markov",
+		Version:      1,
+		Throttleable: true,
+		NewOptions:   func() any { return new(MarkovOptions) },
+		Validate: func(opts any) error {
+			if o := opts.(*MarkovOptions); o.TableEntries < 0 {
+				return fmt.Errorf("table_entries must be >= 0, got %d", o.TableEntries)
+			}
+			return nil
+		},
+		Build: func(env *BuildEnv, opts any) (Instance, error) {
+			n := opts.(*MarkovOptions).TableEntries
+			if n == 0 {
+				n = markov.TableEntriesFor1MB
+			}
+			mk := markov.New(n, env.BlockShift, env.MS)
+			return Instance{Prefetcher: mk, Source: prefetch.SrcMarkov,
+				Throttleable: mk}, nil
+		},
+	})
+}

@@ -1,0 +1,36 @@
+package registry
+
+import (
+	"ldsprefetch/internal/baselines/pab"
+)
+
+// PABOptions parameterizes the Gendler-style best-prefetcher-only selection
+// baseline. It has no tunables today; the struct anchors the options schema
+// so adding one later is not a wire-format change.
+type PABOptions struct{}
+
+type pabController struct {
+	sel *pab.Selector
+}
+
+func (c *pabController) Attach(inst Instance) {
+	if inst.Switchable != nil {
+		c.sel.Add(inst.Source, inst.Switchable)
+	}
+}
+
+func (c *pabController) Install() { c.sel.Install() }
+
+func init() {
+	RegisterPolicy(&Policy{
+		Kind:    "pab",
+		Version: 1,
+		// Selecting the single best prefetcher needs at least two
+		// switchable candidates to choose between.
+		MinSwitchable: 2,
+		NewOptions:    func() any { return new(PABOptions) },
+		Build: func(env *BuildEnv, opts any) Controller {
+			return &pabController{sel: pab.NewSelector(env.MS.Feedback())}
+		},
+	})
+}

@@ -1,0 +1,152 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestCatalogComplete pins the component set this PR ships: the five paper
+// prefetchers and the four control policies. Adding a component extends this
+// list; removing one is a breaking change to every stored spec.
+func TestCatalogComplete(t *testing.T) {
+	wantP := []string{"cdp", "dbp", "ghb", "markov", "stream"}
+	wantC := []string{"fdp", "hwfilter", "pab", "throttle"}
+	if got := Prefetchers(); strings.Join(got, ",") != strings.Join(wantP, ",") {
+		t.Fatalf("prefetcher catalog = %v, want %v", got, wantP)
+	}
+	if got := Policies(); strings.Join(got, ",") != strings.Join(wantC, ",") {
+		t.Fatalf("policy catalog = %v, want %v", got, wantC)
+	}
+	if got, want := len(Catalog()), len(wantP)+len(wantC); got != want {
+		t.Fatalf("Catalog() has %d entries, want %d", got, want)
+	}
+}
+
+func TestLookupMetadata(t *testing.T) {
+	for _, kind := range Catalog() {
+		info, ok := Lookup(kind)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed a cataloged kind", kind)
+		}
+		if info.Kind != kind {
+			t.Errorf("Lookup(%q).Kind = %q", kind, info.Kind)
+		}
+		if info.Version < 1 {
+			t.Errorf("%s: version %d; versions start at 1 so cache keys can tell factories apart", kind, info.Version)
+		}
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Fatal("Lookup accepted an unregistered kind")
+	}
+	// The class-specific lookups partition the catalog.
+	for _, kind := range Prefetchers() {
+		if _, ok := LookupPolicy(kind); ok {
+			t.Errorf("%s is both a prefetcher and a policy", kind)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndIncomplete(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate prefetcher kind", func() {
+		RegisterPrefetcher(&Prefetcher{Kind: "stream",
+			NewOptions: func() any { return new(StreamOptions) },
+			Build:      func(*BuildEnv, any) (Instance, error) { return Instance{}, nil }})
+	})
+	mustPanic("policy shadowing a prefetcher kind", func() {
+		RegisterPolicy(&Policy{Kind: "stream",
+			NewOptions: func() any { return new(PABOptions) },
+			Build:      func(*BuildEnv, any) Controller { return nil }})
+	})
+	mustPanic("missing NewOptions", func() {
+		RegisterPrefetcher(&Prefetcher{Kind: "incomplete",
+			Build: func(*BuildEnv, any) (Instance, error) { return Instance{}, nil }})
+	})
+	mustPanic("empty kind", func() {
+		RegisterPolicy(&Policy{Kind: "",
+			NewOptions: func() any { return new(PABOptions) },
+			Build:      func(*BuildEnv, any) Controller { return nil }})
+	})
+}
+
+func TestDecodeOptionsDefaults(t *testing.T) {
+	for _, raw := range []string{"", "null", " null "} {
+		opts, err := DecodeOptions("stream", []byte(raw))
+		if err != nil {
+			t.Fatalf("DecodeOptions(stream, %q): %v", raw, err)
+		}
+		if o := opts.(*StreamOptions); o.Streams != 0 {
+			t.Fatalf("defaults from %q: %+v", raw, o)
+		}
+	}
+}
+
+func TestDecodeOptionsRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeOptions("stream", []byte(`{"streems": 16}`))
+	if err == nil || !strings.Contains(err.Error(), "streems") {
+		t.Fatalf("misspelled option not rejected: %v", err)
+	}
+	if _, err := DecodeOptions("stream", []byte(`{"streams": 16} {}`)); err == nil {
+		t.Fatal("trailing data not rejected")
+	}
+	var unknown *UnknownComponentError
+	if _, err := DecodeOptions("bogus", nil); !errors.As(err, &unknown) {
+		t.Fatalf("unknown kind error = %v, want *UnknownComponentError", err)
+	} else if !strings.Contains(err.Error(), "stream") {
+		t.Fatalf("unknown-kind error does not carry the catalog: %v", err)
+	}
+}
+
+func TestDecodeOptionsRunsFactoryValidate(t *testing.T) {
+	cases := []struct {
+		kind, raw, wantMsg string
+	}{
+		{"hwfilter", `{"bits": -1}`, "bits must be >= 0"},
+		{"cdp", `{"compare_bits": 40}`, "compare_bits must be in [0, 32]"},
+		{"stream", `{"streams": -2}`, "streams"},
+	}
+	for _, c := range cases {
+		_, err := DecodeOptions(c.kind, []byte(c.raw))
+		if err == nil || !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("DecodeOptions(%s, %s) = %v, want message containing %q",
+				c.kind, c.raw, err, c.wantMsg)
+		}
+	}
+}
+
+// TestCanonicalOptionsNormalizes asserts the cache-key-facing property:
+// formatting, field order, and omitted-vs-explicit defaults cannot split
+// keys, while a semantic difference must.
+func TestCanonicalOptionsNormalizes(t *testing.T) {
+	same := [][2]string{
+		{`{"streams": 32}`, `{ "streams":32 }`},
+		{`{}`, `null`},
+		{`{"compare_bits":0}`, ``},
+	}
+	kinds := []string{"stream", "stream", "cdp"}
+	for i, pair := range same {
+		a, err1 := CanonicalOptions(kinds[i], []byte(pair[0]))
+		b, err2 := CanonicalOptions(kinds[i], []byte(pair[1]))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("canonicalize %v: %v / %v", pair, err1, err2)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: %q and %q canonicalize differently: %s vs %s",
+				kinds[i], pair[0], pair[1], a, b)
+		}
+	}
+	a, _ := CanonicalOptions("stream", []byte(`{"streams": 16}`))
+	b, _ := CanonicalOptions("stream", []byte(`{"streams": 32}`))
+	if string(a) == string(b) {
+		t.Fatal("semantically different options canonicalize identically")
+	}
+}

@@ -1,0 +1,39 @@
+package registry
+
+import (
+	"fmt"
+
+	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/stream"
+)
+
+// StreamOptions parameterizes the POWER4-style stream prefetcher.
+type StreamOptions struct {
+	// Streams is the number of tracked streams (0 = the paper's 32).
+	Streams int `json:"streams,omitempty"`
+}
+
+func init() {
+	RegisterPrefetcher(&Prefetcher{
+		Kind:         "stream",
+		Version:      1,
+		Throttleable: true,
+		Switchable:   true,
+		NewOptions:   func() any { return new(StreamOptions) },
+		Validate: func(opts any) error {
+			if o := opts.(*StreamOptions); o.Streams < 0 {
+				return fmt.Errorf("streams must be >= 0, got %d", o.Streams)
+			}
+			return nil
+		},
+		Build: func(env *BuildEnv, opts any) (Instance, error) {
+			n := opts.(*StreamOptions).Streams
+			if n == 0 {
+				n = 32
+			}
+			sp := stream.New(n, env.BlockShift, env.MS)
+			return Instance{Prefetcher: sp, Source: prefetch.SrcStream,
+				Throttleable: sp, Switchable: sp}, nil
+		},
+	})
+}

@@ -1,0 +1,53 @@
+package registry
+
+import (
+	"ldsprefetch/internal/core"
+)
+
+// ThrottleOptions parameterizes the paper's coordinated prefetcher
+// throttling (Section 4, Table 3).
+type ThrottleOptions struct {
+	// Thresholds overrides the accuracy/coverage decision thresholds
+	// (nil = core.DefaultThresholds).
+	Thresholds *core.Thresholds `json:"thresholds,omitempty"`
+}
+
+// throttleController adapts core.Throttler to the assembly protocol. It
+// installs only when at least one throttleable prefetcher attached, matching
+// the pre-registry behaviour of a Throttle flag on a prefetcher-less system.
+type throttleController struct {
+	thr *core.Throttler
+	env *BuildEnv
+	n   int
+}
+
+func (c *throttleController) Attach(inst Instance) {
+	if inst.Throttleable != nil {
+		c.thr.Add(inst.Source, inst.Throttleable)
+		c.n++
+	}
+}
+
+func (c *throttleController) Install() {
+	if c.n == 0 {
+		return
+	}
+	c.thr.Trace = c.env.Trace
+	c.thr.Install()
+}
+
+func init() {
+	RegisterPolicy(&Policy{
+		Kind:           "throttle",
+		Version:        1,
+		ClaimsThrottle: true,
+		NewOptions:     func() any { return new(ThrottleOptions) },
+		Build: func(env *BuildEnv, opts any) Controller {
+			th := core.DefaultThresholds()
+			if o := opts.(*ThrottleOptions); o.Thresholds != nil {
+				th = *o.Thresholds
+			}
+			return &throttleController{thr: core.NewThrottler(th, env.MS.Feedback()), env: env}
+		},
+	})
+}

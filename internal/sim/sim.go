@@ -6,44 +6,44 @@
 //
 // # Lifecycle
 //
-// A run is described by a Setup (which prefetchers to attach, which
-// throttling controller to install, hardware-config overrides) plus workload
-// Params (input scale and seed). RunSingle builds the whole stack — workload
-// trace, caches, DRAM controller, prefetchers, controllers — executes it to
-// completion, and returns a Result with the end-of-run metrics. RunMulti
-// does the same for one benchmark per core over a shared DRAM controller
-// and additionally runs each benchmark alone to normalize the weighted and
-// harmonic speedups in MultiResult.
+// A run is described by a Spec — a declarative list of registered component
+// kinds (see internal/sim/registry) plus spec-level inputs — and workload
+// Params (input scale and seed). RunSingleSpec builds the whole stack —
+// workload trace, caches, DRAM controller, prefetchers, controllers —
+// executes it to completion, and returns a Result with the end-of-run
+// metrics. RunMultiSpec does the same for one benchmark per core over a
+// shared DRAM controller and additionally runs each benchmark alone to
+// normalize the weighted and harmonic speedups in MultiResult.
 //
-// Setting Setup.Trace additionally attaches an interval-level telemetry
+// Setup is the legacy flag-bag form of a configuration, kept as a thin
+// constructor over Spec (see Setup.Spec); the Setup-based runners delegate
+// to their Spec counterparts.
+//
+// Setting Spec.Trace additionally attaches an interval-level telemetry
 // recorder; the Result then carries a telemetry.Trace with the per-interval
 // time series and the throttle-decision event log (see OBSERVABILITY.md).
 // Tracing is observation-only: a traced run's metrics are bit-identical to
-// an untraced run of the same Setup.
+// an untraced run of the same Spec.
 package sim
 
 import (
 	"fmt"
 
-	"ldsprefetch/internal/baselines/dbp"
 	"ldsprefetch/internal/baselines/fdp"
-	"ldsprefetch/internal/baselines/ghb"
-	"ldsprefetch/internal/baselines/hwfilter"
-	"ldsprefetch/internal/baselines/markov"
-	"ldsprefetch/internal/baselines/pab"
 	"ldsprefetch/internal/core"
 	"ldsprefetch/internal/cpu"
 	"ldsprefetch/internal/dram"
 	"ldsprefetch/internal/memsys"
 	"ldsprefetch/internal/prefetch"
-	"ldsprefetch/internal/stream"
+	"ldsprefetch/internal/sim/registry"
 	"ldsprefetch/internal/telemetry"
 	"ldsprefetch/internal/workload"
 )
 
-// Setup selects the prefetching configuration of a run. The zero value is a
-// system with no prefetching; Baseline() is the paper's baseline (aggressive
-// stream prefetcher alone).
+// Setup selects the prefetching configuration of a run in the legacy
+// flag-bag form. The zero value is a system with no prefetching; Baseline()
+// is the paper's baseline (aggressive stream prefetcher alone). Setup.Spec
+// converts to the declarative form everything downstream consumes.
 type Setup struct {
 	// Name labels the configuration in reports.
 	Name string
@@ -162,10 +162,17 @@ func blockShift(n int) uint {
 }
 
 // assemble builds one core's full stack for benchmark bench, sharing ctrl.
-func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (*system, error) {
+// It is a loop over the spec's components: control policies are constructed
+// first, then each prefetcher is built through its registry factory,
+// attached, and offered to every policy, and finally the policies install
+// themselves — all in spec order.
+func assemble(bench string, p workload.Params, sp Spec, ctrl *dram.Controller) (*system, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
 	mcfg := memsys.DefaultConfig()
-	if s.MemCfg != nil {
-		mcfg = *s.MemCfg
+	if sp.MemCfg != nil {
+		mcfg = *sp.MemCfg
 	}
 	if mcfg.BlockSize <= 0 || mcfg.BlockSize&(mcfg.BlockSize-1) != 0 {
 		return nil, fmt.Errorf("sim: block size %d is not a positive power of two", mcfg.BlockSize)
@@ -174,21 +181,21 @@ func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (
 	if err != nil {
 		return nil, err
 	}
-	if s.IntervalLen > 0 {
-		mcfg.IntervalLen = s.IntervalLen
+	if sp.IntervalLen > 0 {
+		mcfg.IntervalLen = sp.IntervalLen
 	}
-	mcfg.IdealLDS = s.IdealLDS
-	mcfg.NoPollution = s.NoPollution
+	mcfg.IdealLDS = sp.IdealLDS
+	mcfg.NoPollution = sp.NoPollution
 	ccfg := cpu.DefaultConfig()
-	if s.CPUCfg != nil {
-		ccfg = *s.CPUCfg
+	if sp.CPUCfg != nil {
+		ccfg = *sp.CPUCfg
 	}
 
 	ms := memsys.New(mcfg, tr.Mem, ctrl)
 	shift := blockShift(mcfg.BlockSize)
 	level := prefetch.Aggressive
-	if s.InitialLevel != nil {
-		level = s.InitialLevel.Clamp()
+	if sp.InitialLevel != nil {
+		level = sp.InitialLevel.Clamp()
 	}
 
 	// Telemetry. The recorder is installed on the feedback hook before any
@@ -197,102 +204,62 @@ func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (
 	var trc *telemetry.Trace
 	var rec *telemetry.Recorder
 	levels := make(map[prefetch.Source]prefetch.Throttleable)
-	if s.Trace {
-		trc = &telemetry.Trace{Benchmark: bench, Setup: s.Name}
+	if sp.Trace {
+		trc = &telemetry.Trace{Benchmark: bench, Setup: sp.Name}
 		rec = telemetry.NewRecorder(trc, ms.Feedback())
 		rec.Install()
 	}
 
-	th := core.DefaultThresholds()
-	if s.Thresholds != nil {
-		th = *s.Thresholds
+	env := &registry.BuildEnv{
+		MS:         ms,
+		BlockSize:  mcfg.BlockSize,
+		BlockShift: shift,
+		Hints:      sp.Hints,
+		Trace:      trc,
 	}
-	throttler := core.NewThrottler(th, ms.Feedback())
-	fth := fdp.DefaultThresholds()
-	if s.FDPThresholds != nil {
-		fth = *s.FDPThresholds
-	}
-	fdpCtl := fdp.NewController(fth, ms.Feedback())
-	selector := pab.NewSelector(ms.Feedback())
-	nThrottled := 0
 
-	attach := func(pf memsys.Prefetcher, src prefetch.Source, t prefetch.Throttleable, sw pab.Switchable) {
-		ms.Attach(pf)
+	// Policies are constructed before any prefetcher attaches (they hook
+	// feedback in install order, after the recorder), then offered every
+	// prefetcher instance, then installed.
+	var ctls []registry.Controller
+	for _, comp := range sp.Components {
+		pol, ok := registry.LookupPolicy(comp.Kind)
+		if !ok {
+			continue
+		}
+		opts, err := registry.DecodeOptions(comp.Kind, comp.Options)
+		if err != nil {
+			return nil, err // unreachable: Validate decoded these already
+		}
+		ctls = append(ctls, pol.Build(env, opts))
+	}
+	for _, comp := range sp.Components {
+		pf, ok := registry.LookupPrefetcher(comp.Kind)
+		if !ok {
+			continue
+		}
+		opts, err := registry.DecodeOptions(comp.Kind, comp.Options)
+		if err != nil {
+			return nil, err // unreachable: Validate decoded these already
+		}
+		inst, err := pf.Build(env, opts)
+		if err != nil {
+			return nil, err
+		}
+		ms.Attach(inst.Prefetcher)
 		if trc != nil {
-			trc.Sources = append(trc.Sources, src)
+			trc.Sources = append(trc.Sources, inst.Source)
 		}
-		if t != nil {
-			levels[src] = t
-			t.SetLevel(level)
-			if s.Throttle {
-				throttler.Add(src, t)
-				nThrottled++
-			}
-			if s.FDP {
-				fdpCtl.Add(src, t)
-				nThrottled++
-			}
+		if inst.Throttleable != nil {
+			levels[inst.Source] = inst.Throttleable
+			inst.Throttleable.SetLevel(level)
 		}
-		if s.PAB && sw != nil {
-			selector.Add(src, sw)
+		for _, c := range ctls {
+			c.Attach(inst)
 		}
 	}
-
-	if s.Stream {
-		sp := stream.New(32, shift, ms)
-		attach(sp, prefetch.SrcStream, sp, sp)
-	}
-	if s.CDP {
-		cfg := core.DefaultCDPConfig()
-		cfg.BlockSize = mcfg.BlockSize
-		cfg.Hints = s.Hints
-		cd := core.NewCDP(cfg, ms)
-		attach(cd, prefetch.SrcCDP, cd, cd)
-	}
-	if s.Markov {
-		mk := markov.New(markov.TableEntriesFor1MB, shift, ms)
-		attach(mk, prefetch.SrcMarkov, mk, nil)
-	}
-	if s.GHB {
-		gh := ghb.New(1024, shift, ms)
-		attach(gh, prefetch.SrcGHB, gh, nil)
-	}
-	if s.DBP {
-		db := dbp.New(128, 256, ms)
-		attach(db, prefetch.SrcDBP, db, nil)
-	}
-
-	if s.Throttle && nThrottled > 0 {
-		throttler.Trace = trc
-		throttler.Install()
-	}
-	if s.FDP && nThrottled > 0 {
-		fdpCtl.Install()
-	}
-	if s.PAB {
-		selector.Install()
-	}
-	if s.HWFilter {
-		bits := s.HWFilterBits
-		if bits == 0 {
-			bits = 8 << 10 * 8
-		}
-		f := hwfilter.New(bits, shift)
-		ms.FilterPrefetch = func(r prefetch.Request) bool {
-			if r.Src != prefetch.SrcCDP {
-				return true
-			}
-			return f.Allow(r)
-		}
-		prevOutcome := ms.OnPrefetchOutcome
-		ms.OnPrefetchOutcome = func(blk uint32, src prefetch.Source, used bool) {
-			if prevOutcome != nil {
-				prevOutcome(blk, src, used)
-			}
-			if src == prefetch.SrcCDP {
-				f.Outcome(blk, src, used)
-			}
-		}
+	for _, c := range ctls {
+		c.Install()
 	}
 
 	sys := &system{bench: bench, ms: ms, core: cpu.NewCore(ccfg, ms, tr), trace: trc}
@@ -315,7 +282,7 @@ func assemble(bench string, p workload.Params, s Setup, ctrl *dram.Controller) (
 			return -1
 		}
 	}
-	if s.ProfilePGs {
+	if sp.ProfilePGs {
 		sys.pgs = make(map[prefetch.PGKey]*pgCount)
 		get := func(pg prefetch.PGKey) *pgCount {
 			c := sys.pgs[pg]
@@ -384,10 +351,10 @@ func (sys *system) result(setupName string, busTransfers int64) Result {
 	return r
 }
 
-func controllerFor(s Setup, cores int) *dram.Controller {
+func controllerFor(sp Spec, cores int) *dram.Controller {
 	cfg := dram.DefaultConfig(cores)
-	if s.DRAMCfg != nil {
-		cfg = *s.DRAMCfg
+	if sp.DRAMCfg != nil {
+		cfg = *sp.DRAMCfg
 		if cfg.RequestBuffer == 0 {
 			cfg.RequestBuffer = 32 * cores
 		}
@@ -395,10 +362,10 @@ func controllerFor(s Setup, cores int) *dram.Controller {
 	return dram.NewController(cfg)
 }
 
-// RunSingle builds and runs benchmark bench on a single-core system.
-func RunSingle(bench string, p workload.Params, s Setup) (Result, error) {
-	ctrl := controllerFor(s, 1)
-	sys, err := assemble(bench, p, s, ctrl)
+// RunSingleSpec builds and runs benchmark bench on a single-core system.
+func RunSingleSpec(bench string, p workload.Params, sp Spec) (Result, error) {
+	ctrl := controllerFor(sp, 1)
+	sys, err := assemble(bench, p, sp, ctrl)
 	if err != nil {
 		return Result{}, err
 	}
@@ -406,7 +373,12 @@ func RunSingle(bench string, p workload.Params, s Setup) (Result, error) {
 		sys.core.Step(1 << 16)
 	}
 	sys.ms.FlushAccounting()
-	return sys.result(s.Name, ctrl.Transfers), nil
+	return sys.result(sp.Name, ctrl.Transfers), nil
+}
+
+// RunSingle is RunSingleSpec for a legacy Setup.
+func RunSingle(bench string, p workload.Params, s Setup) (Result, error) {
+	return RunSingleSpec(bench, p, s.Spec())
 }
 
 // MultiResult is the outcome of a multi-core run.
@@ -429,18 +401,18 @@ type MultiResult struct {
 	BusPKI       float64
 }
 
-// RunShared runs the given benchmarks concurrently, one per core, on a
+// RunSharedSpec runs the given benchmarks concurrently, one per core, on a
 // shared DRAM controller (private L1/L2 per core, as in the paper's
 // multi-core configuration). The speedup-normalization fields (AloneIPC,
 // WeightedSpeedup, HmeanSpeedup) are left zero; run each benchmark alone
-// with RunAlone and call Normalize to fill them. Job schedulers use this
+// with RunAloneSpec and call Normalize to fill them. Job schedulers use this
 // decomposition to cache and share alone runs across mixes.
-func RunShared(benches []string, p workload.Params, s Setup) (MultiResult, error) {
+func RunSharedSpec(benches []string, p workload.Params, sp Spec) (MultiResult, error) {
 	n := len(benches)
-	ctrl := controllerFor(s, n)
+	ctrl := controllerFor(sp, n)
 	systems := make([]*system, n)
 	for i, b := range benches {
-		sys, err := assemble(b, p, s, ctrl)
+		sys, err := assemble(b, p, sp, ctrl)
 		if err != nil {
 			return MultiResult{}, err
 		}
@@ -468,11 +440,11 @@ func RunShared(benches []string, p workload.Params, s Setup) (MultiResult, error
 		systems[best].core.Step(chunk)
 	}
 
-	res := MultiResult{Benchmarks: benches, Setup: s.Name, BusTransfers: ctrl.Transfers}
+	res := MultiResult{Benchmarks: benches, Setup: sp.Name, BusTransfers: ctrl.Transfers}
 	var totalRetired int64
 	for _, sys := range systems {
 		sys.ms.FlushAccounting()
-		r := sys.result(s.Name, ctrl.Transfers)
+		r := sys.result(sp.Name, ctrl.Transfers)
 		totalRetired += r.Retired
 		res.PerCore = append(res.PerCore, r)
 	}
@@ -482,14 +454,19 @@ func RunShared(benches []string, p workload.Params, s Setup) (MultiResult, error
 	return res, nil
 }
 
-// RunAlone runs bench by itself on a memory system sized for a cores-core
-// machine — the normalization runs RunMulti uses to compute weighted and
-// harmonic speedups. Its result depends only on (bench, p, s, cores), so an
-// alone run is shareable across every mix of the same width that includes
-// the benchmark under the same configuration.
-func RunAlone(bench string, p workload.Params, s Setup, cores int) (Result, error) {
-	ctrl := controllerFor(s, cores)
-	sys, err := assemble(bench, p, s, ctrl)
+// RunShared is RunSharedSpec for a legacy Setup.
+func RunShared(benches []string, p workload.Params, s Setup) (MultiResult, error) {
+	return RunSharedSpec(benches, p, s.Spec())
+}
+
+// RunAloneSpec runs bench by itself on a memory system sized for a
+// cores-core machine — the normalization runs RunMultiSpec uses to compute
+// weighted and harmonic speedups. Its result depends only on (bench, p, sp,
+// cores), so an alone run is shareable across every mix of the same width
+// that includes the benchmark under the same configuration.
+func RunAloneSpec(bench string, p workload.Params, sp Spec, cores int) (Result, error) {
+	ctrl := controllerFor(sp, cores)
+	sys, err := assemble(bench, p, sp, ctrl)
 	if err != nil {
 		return Result{}, err
 	}
@@ -497,7 +474,12 @@ func RunAlone(bench string, p workload.Params, s Setup, cores int) (Result, erro
 		sys.core.Step(1 << 16)
 	}
 	sys.ms.FlushAccounting()
-	return sys.result(s.Name, ctrl.Transfers), nil
+	return sys.result(sp.Name, ctrl.Transfers), nil
+}
+
+// RunAlone is RunAloneSpec for a legacy Setup.
+func RunAlone(bench string, p workload.Params, s Setup, cores int) (Result, error) {
+	return RunAloneSpec(bench, p, s.Spec(), cores)
 }
 
 // Normalize fills the speedup metrics from each benchmark's alone-run IPC
@@ -519,18 +501,18 @@ func (mr *MultiResult) Normalize(aloneIPC []float64) {
 	}
 }
 
-// RunMulti runs the given benchmarks concurrently, one per core, on a shared
-// DRAM controller, then runs each benchmark alone on the same configuration
-// to normalize the speedup metrics. It is RunShared + RunAlone + Normalize
-// in one call.
-func RunMulti(benches []string, p workload.Params, s Setup) (MultiResult, error) {
-	res, err := RunShared(benches, p, s)
+// RunMultiSpec runs the given benchmarks concurrently, one per core, on a
+// shared DRAM controller, then runs each benchmark alone on the same
+// configuration to normalize the speedup metrics. It is RunSharedSpec +
+// RunAloneSpec + Normalize in one call.
+func RunMultiSpec(benches []string, p workload.Params, sp Spec) (MultiResult, error) {
+	res, err := RunSharedSpec(benches, p, sp)
 	if err != nil {
 		return MultiResult{}, err
 	}
 	alone := make([]float64, len(benches))
 	for i, b := range benches {
-		r, err := RunAlone(b, p, s, len(benches))
+		r, err := RunAloneSpec(b, p, sp, len(benches))
 		if err != nil {
 			return MultiResult{}, err
 		}
@@ -538,4 +520,9 @@ func RunMulti(benches []string, p workload.Params, s Setup) (MultiResult, error)
 	}
 	res.Normalize(alone)
 	return res, nil
+}
+
+// RunMulti is RunMultiSpec for a legacy Setup.
+func RunMulti(benches []string, p workload.Params, s Setup) (MultiResult, error) {
+	return RunMultiSpec(benches, p, s.Spec())
 }

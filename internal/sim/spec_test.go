@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ldsprefetch/internal/core"
+	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/sim/registry"
+	"ldsprefetch/internal/workload"
+)
+
+// --- validation regressions ---
+
+// TestValidateRejectsThrottlePlusFDP is the regression test for the
+// coordinated-throttle/FDP conflict: both claim the prefetchers'
+// aggressiveness levels, so enabling both must be a typed config error from
+// the Spec and from the legacy Setup path alike (the old assembler silently
+// let FDP fight the throttler).
+func TestValidateRejectsThrottlePlusFDP(t *testing.T) {
+	err := NewSpec("both", "stream", "cdp", "throttle", "fdp").Validate()
+	if !errors.Is(err, ErrComponentConflict) {
+		t.Fatalf("spec path: err = %v, want ErrComponentConflict", err)
+	}
+	if !strings.Contains(err.Error(), "throttle") || !strings.Contains(err.Error(), "fdp") {
+		t.Fatalf("conflict error does not name both claimants: %v", err)
+	}
+
+	setup := Setup{Name: "both", Stream: true, CDP: true, Throttle: true, FDP: true}
+	if err := setup.Spec().Validate(); !errors.Is(err, ErrComponentConflict) {
+		t.Fatalf("setup path: err = %v, want ErrComponentConflict", err)
+	}
+	// The scheduler-facing constructors must refuse to run it.
+	if _, err := RunSingle("mst", workload.Params{Scale: 0.05, Seed: 1}, setup); err == nil {
+		t.Fatal("RunSingle simulated a Throttle+FDP setup")
+	}
+}
+
+func TestValidateRejectsUnknownComponent(t *testing.T) {
+	err := NewSpec("x", "stream", "warp-drive").Validate()
+	if !errors.Is(err, ErrUnknownComponent) {
+		t.Fatalf("err = %v, want ErrUnknownComponent", err)
+	}
+	var se *SpecError
+	if !errors.As(err, &se) || se.Component != "warp-drive" {
+		t.Fatalf("error does not identify the component: %#v", err)
+	}
+	// The message must carry the catalog so the fix is obvious from the error.
+	for _, kind := range registry.Catalog() {
+		if !strings.Contains(err.Error(), kind) {
+			t.Fatalf("catalog entry %q missing from error: %v", kind, err)
+		}
+	}
+}
+
+func TestValidateRejectsDuplicateComponent(t *testing.T) {
+	if err := NewSpec("x", "stream", "stream").Validate(); !errors.Is(err, ErrComponentConflict) {
+		t.Fatalf("err = %v, want ErrComponentConflict", err)
+	}
+}
+
+func TestValidateRejectsHintsWithoutConsumer(t *testing.T) {
+	h := core.NewHintTable()
+	h.Set(0x10, core.HintVec{Pos: 1})
+
+	err := NewSpec("x", "stream").WithHints(h).Validate()
+	if !errors.Is(err, ErrBadComposition) {
+		t.Fatalf("spec path: err = %v, want ErrBadComposition", err)
+	}
+	if !strings.Contains(err.Error(), "cdp") {
+		t.Fatalf("error is not actionable (should suggest cdp): %v", err)
+	}
+	setup := Setup{Name: "x", Stream: true, Hints: h}
+	if err := setup.Spec().Validate(); !errors.Is(err, ErrBadComposition) {
+		t.Fatalf("setup path: err = %v, want ErrBadComposition", err)
+	}
+	// With a consumer present the same table is fine.
+	if err := NewSpec("ok", "stream", "cdp").WithHints(h).Validate(); err != nil {
+		t.Fatalf("hints with cdp rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsNegativeHWFilterBits(t *testing.T) {
+	err := NewSpec("x", "stream", "cdp").
+		With(NewComponent("hwfilter", registry.HWFilterOptions{Bits: -8})).Validate()
+	if !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("spec path: err = %v, want ErrBadOptions", err)
+	}
+	if !strings.Contains(err.Error(), "bits must be >= 0") {
+		t.Fatalf("error not actionable: %v", err)
+	}
+	setup := Setup{Name: "x", Stream: true, CDP: true, HWFilter: true, HWFilterBits: -8}
+	if err := setup.Spec().Validate(); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("setup path: err = %v, want ErrBadOptions", err)
+	}
+}
+
+func TestValidateRejectsPABWithoutTwoSwitchable(t *testing.T) {
+	for _, sp := range []Spec{
+		NewSpec("pab-alone", "pab"),
+		NewSpec("pab-one", "stream", "pab"),
+		NewSpec("pab-ghb", "ghb", "pab"), // ghb is throttleable but not switchable
+	} {
+		err := sp.Validate()
+		if !errors.Is(err, ErrBadComposition) {
+			t.Fatalf("%s: err = %v, want ErrBadComposition", sp.Name, err)
+		}
+		if !strings.Contains(err.Error(), "switchable") {
+			t.Fatalf("%s: error not actionable: %v", sp.Name, err)
+		}
+	}
+	if err := NewSpec("pab-ok", "stream", "cdp", "pab").Validate(); err != nil {
+		t.Fatalf("pab with two switchable prefetchers rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadOptionJSON(t *testing.T) {
+	sp := Spec{Name: "x", Components: []Component{
+		{Kind: "stream", Options: json.RawMessage(`{"streems": 4}`)},
+	}}
+	if err := sp.Validate(); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("err = %v, want ErrBadOptions", err)
+	}
+}
+
+// --- canonical encoding ---
+
+func TestCanonicalIgnoresOptionFormatting(t *testing.T) {
+	a := Spec{Name: "n", Components: []Component{
+		{Kind: "stream", Options: json.RawMessage(`{ "streams": 32 }`)}}}
+	b := Spec{Name: "n", Components: []Component{
+		{Kind: "stream", Options: json.RawMessage(`{"streams":32}`)}}}
+	ca, err1 := a.Canonical()
+	cb, err2 := b.Canonical()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if string(ca) != string(cb) {
+		t.Fatalf("formatting split the canonical encoding:\n%s\n%s", ca, cb)
+	}
+}
+
+func TestCanonicalFailsExactlyWhenValidateRejectsStructure(t *testing.T) {
+	bad := NewSpec("x", "bogus")
+	if _, err := bad.Canonical(); !errors.Is(err, ErrUnknownComponent) {
+		t.Fatalf("Canonical on unknown kind: %v", err)
+	}
+	if _, err := (Setup{Name: "ok", Stream: true}).Spec().Canonical(); err != nil {
+		t.Fatalf("Canonical on a valid converted setup: %v", err)
+	}
+}
+
+// --- JSON round-trip property ---
+
+// randomSpec draws a random valid-shaped spec: a subset of the catalog in
+// random order (duplicates excluded), random options, sometimes hints and
+// spec-level fields. It deliberately may violate composition rules — the
+// property under test is encoding fidelity, not validity.
+func randomSpec(rng *rand.Rand, i int) Spec {
+	catalog := registry.Catalog()
+	sp := Spec{Name: fmt.Sprintf("prop-%d", i)}
+	perm := rng.Perm(len(catalog))
+	n := rng.Intn(len(catalog) + 1)
+	for _, idx := range perm[:n] {
+		comp := Component{Kind: catalog[idx]}
+		switch comp.Kind {
+		case "stream":
+			if rng.Intn(2) == 0 {
+				comp = NewComponent("stream", registry.StreamOptions{Streams: 1 + rng.Intn(64)})
+			}
+		case "cdp":
+			if rng.Intn(2) == 0 {
+				comp = NewComponent("cdp", registry.CDPOptions{CompareBits: 1 + rng.Intn(32)})
+			}
+		case "hwfilter":
+			if rng.Intn(2) == 0 {
+				comp = NewComponent("hwfilter", registry.HWFilterOptions{Bits: 1 << uint(10+rng.Intn(8))})
+			}
+		}
+		sp.Components = append(sp.Components, comp)
+	}
+	if rng.Intn(3) == 0 {
+		h := core.NewHintTable()
+		for j := 0; j < rng.Intn(4)+1; j++ {
+			h.Set(uint32(rng.Intn(1<<16)), core.HintVec{Pos: rng.Uint32(), Neg: rng.Uint32()})
+		}
+		sp.Hints = h
+	}
+	sp.IdealLDS = rng.Intn(4) == 0
+	sp.ProfilePGs = rng.Intn(4) == 0
+	if rng.Intn(3) == 0 {
+		sp.IntervalLen = 1 << uint(8+rng.Intn(8))
+	}
+	if rng.Intn(4) == 0 {
+		lv := prefetch.AggLevel(rng.Intn(int(prefetch.Aggressive) + 1))
+		sp.InitialLevel = &lv
+	}
+	return sp
+}
+
+// TestSpecJSONRoundTrip is the serialization property test: for seeded
+// random specs, marshal → unmarshal must preserve the canonical encoding
+// (when the spec canonicalizes) and the validation verdict.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for i := 0; i < 200; i++ {
+		sp := randomSpec(rng, i)
+		b, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("spec %d: marshal: %v", i, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("spec %d: unmarshal: %v\njson: %s", i, err, b)
+		}
+		origErr, backErr := sp.Validate(), back.Validate()
+		if (origErr == nil) != (backErr == nil) {
+			t.Fatalf("spec %d: validation verdict changed across JSON: %v vs %v\njson: %s",
+				i, origErr, backErr, b)
+		}
+		if origErr != nil {
+			continue
+		}
+		c1, err1 := sp.Canonical()
+		c2, err2 := back.Canonical()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("spec %d: canonical: %v / %v", i, err1, err2)
+		}
+		if string(c1) != string(c2) {
+			t.Fatalf("spec %d: canonical encoding changed across JSON:\n%s\nvs\n%s", i, c1, c2)
+		}
+	}
+}
+
+// TestSetupSpecEquivalence pins the compatibility contract: a legacy Setup
+// and its Spec conversion produce identical canonical encodings, so cache
+// keys computed through either path agree.
+func TestSetupSpecEquivalence(t *testing.T) {
+	h := core.NewHintTable()
+	h.Set(0x40, core.HintVec{Pos: 3})
+	setups := []Setup{
+		{Name: "none"},
+		{Name: "stream", Stream: true},
+		{Name: "full", Stream: true, CDP: true, Hints: h, Throttle: true},
+		{Name: "hw", Stream: true, CDP: true, HWFilter: true, HWFilterBits: 4096},
+	}
+	for _, s := range setups {
+		c1, err := s.Spec().Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		c2, err := s.Spec().Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if string(c1) != string(c2) {
+			t.Fatalf("%s: conversion is not deterministic", s.Name)
+		}
+	}
+}

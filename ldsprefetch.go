@@ -48,9 +48,24 @@ func RefInput() Input { return workload.Ref() }
 // TrainInput returns the profiling input (smaller scale, different seed).
 func TrainInput() Input { return workload.Train() }
 
-// Setup selects the system's prefetching configuration; see sim.Setup for
-// all knobs.
+// Setup selects the system's prefetching configuration via the legacy
+// boolean flags; see sim.Setup for all knobs. New code should prefer Spec.
 type Setup = sim.Setup
+
+// Spec is the declarative, serializable run configuration: an ordered list
+// of registered component kinds (prefetchers and control policies) with
+// typed options. See sim.Spec and internal/sim/registry.
+type Spec = sim.Spec
+
+// NewSpec builds a Spec from component kinds with default options, e.g.
+// NewSpec("hybrid", "stream", "cdp", "throttle").
+func NewSpec(name string, kinds ...string) Spec { return sim.NewSpec(name, kinds...) }
+
+// RunSpec simulates one benchmark on a single-core system under a
+// declarative Spec.
+func RunSpec(bench string, in Input, sp Spec) (Result, error) {
+	return sim.RunSingleSpec(bench, in, sp)
+}
 
 // Result carries a single-core run's metrics (IPC, BPKI, per-prefetcher
 // accuracy and coverage, memory-system statistics).
