@@ -6,6 +6,13 @@
 // jobs, a journal that makes interrupted sweeps resumable, and counters
 // suitable for a /metrics endpoint. internal/exp, both CLIs, and the job
 // service route every simulation through a Scheduler.
+//
+// Jobs are also transportable: a Scheduler configured with a Runner hands
+// every cacheable job to it as a TaskSpec instead of simulating in-process
+// (the coordinator side of a distributed sweep), and ExecTask executes a
+// received TaskSpec under the full local pipeline (the worker side). The
+// result store's Backend interface is the storage seam: a local directory
+// today, an object store tomorrow. See DISTRIBUTED.md.
 package jobs
 
 import (

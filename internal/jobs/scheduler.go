@@ -45,6 +45,17 @@ type Config struct {
 	// result does not match the stored one — a determinism check for the
 	// simulator and the store.
 	Verify bool
+	// Runner, when non-nil, executes cacheable jobs remotely instead of on
+	// the local pool: single/shared/alone jobs are handed to Runner.RunTask
+	// (the distributed coordinator dispatches them to pull-based workers
+	// this way; DISTRIBUTED.md) and only uncacheable work — profiles,
+	// traced runs, ad-hoc jobs — runs locally. Remote jobs bypass Slots,
+	// Timeout, and Retries: the remote end owns its concurrency and
+	// failure containment, and the dispatch layer owns recovery from
+	// worker loss (lease expiry and re-dispatch). With Verify set, hit
+	// verification recomputes remotely too, making cross-node cache hits
+	// a distributed determinism check.
+	Runner Runner
 }
 
 // Record is the provenance of one completed job, in submission-completion
@@ -128,8 +139,9 @@ type jobDesc struct {
 	kind      string
 	benches   []string
 	setupName string
-	key       Key  // zero Hash means uncacheable
-	cacheable bool // false: skip cache and dedup (traced runs, profiles)
+	key       Key       // zero Hash means uncacheable
+	cacheable bool      // false: skip cache and dedup (traced runs, profiles)
+	task      *TaskSpec // transportable form, set when a Runner may execute it
 }
 
 func (s *Scheduler) record(rec Record, d time.Duration) {
@@ -200,6 +212,29 @@ func (s *Scheduler) execute(fn func() (any, error)) (res any, attempts int, err 
 		}
 		s.sinks(func(m *Metrics) { m.Retries.Add(1) })
 	}
+}
+
+// compute executes d's work: remotely via the configured Runner when the
+// job is transportable, locally on the worker pool otherwise. The remote
+// path holds no local slot — the executing node bounds its own concurrency —
+// and does not retry: worker loss is recovered by the dispatch layer
+// (re-dispatch), and a deterministic simulation failure pushed back by a
+// worker would fail again anywhere.
+func (s *Scheduler) compute(d jobDesc, run func() (any, error), newOut func() any) (any, int, error) {
+	if s.cfg.Runner != nil && d.task != nil {
+		s.sinks(func(m *Metrics) { m.Dispatched.Add(1) })
+		raw, err := s.cfg.Runner.RunTask(*d.task)
+		if err != nil {
+			return nil, 1, err
+		}
+		out := newOut()
+		if err := json.Unmarshal(raw, out); err != nil {
+			return nil, 1, fmt.Errorf("jobs: decoding remote result %s: %w", d.key.Hash, err)
+		}
+		return out, 1, nil
+	}
+	res, attempts, err := s.execute(run)
+	return res, attempts, err
 }
 
 // canonicalResult re-encodes a result for the determinism check. JSON
@@ -273,7 +308,7 @@ func (s *Scheduler) doLeader(d jobDesc, rec *Record, run func() (any, error), ne
 		if err == nil && hit {
 			s.sinks(func(m *Metrics) { m.CacheHits.Add(1) })
 			if s.cfg.Verify {
-				if verr := s.verifyHit(d, out, run); verr != nil {
+				if verr := s.verifyHit(d, out, run, newOut); verr != nil {
 					s.sinks(func(m *Metrics) { m.Failed.Add(1) })
 					rec.Provenance = "failed"
 					rec.Error = verr.Error()
@@ -295,7 +330,7 @@ func (s *Scheduler) doLeader(d jobDesc, rec *Record, run func() (any, error), ne
 	}
 
 	start := time.Now()
-	res, attempts, err := s.execute(run)
+	res, attempts, err := s.compute(d, run, newOut)
 	dur := time.Since(start)
 	s.sinks(func(m *Metrics) { m.observeLatency(dur) })
 	rec.Attempts = attempts
@@ -306,8 +341,16 @@ func (s *Scheduler) doLeader(d jobDesc, rec *Record, run func() (any, error), ne
 		s.record(*rec, dur)
 		return nil, err
 	}
-	s.sinks(func(m *Metrics) { m.Completed.Add(1); m.Computed.Add(1) })
-	rec.Provenance = "computed"
+	if s.cfg.Runner != nil && d.task != nil {
+		// Remotely executed: the Dispatched counter already recorded it and
+		// the executing node counts the computation; counting it as Computed
+		// here too would double-book the simulation.
+		s.sinks(func(m *Metrics) { m.Completed.Add(1) })
+		rec.Provenance = "dispatched"
+	} else {
+		s.sinks(func(m *Metrics) { m.Completed.Add(1); m.Computed.Add(1) })
+		rec.Provenance = "computed"
+	}
 	if s.cfg.Store != nil {
 		if perr := s.cfg.Store.Put(d.key, d.kind, res); perr != nil {
 			// The result is valid even if journaling it failed; surface the
@@ -320,10 +363,12 @@ func (s *Scheduler) doLeader(d jobDesc, rec *Record, run func() (any, error), ne
 }
 
 // verifyHit recomputes a cache hit and compares it against the stored
-// result.
-func (s *Scheduler) verifyHit(d jobDesc, cached any, run func() (any, error)) error {
+// result. With a Runner configured the recompute dispatches remotely, so a
+// coordinator's -verifycache audits cross-node determinism: a hit journaled
+// by one worker is recomputed by whichever worker leases the check.
+func (s *Scheduler) verifyHit(d jobDesc, cached any, run func() (any, error), newOut func() any) error {
 	s.sinks(func(m *Metrics) { m.VerifyRuns.Add(1) })
-	fresh, _, err := s.execute(run)
+	fresh, _, err := s.compute(d, run, newOut)
 	if err != nil {
 		return fmt.Errorf("verifying cache hit %s: recompute failed: %w", d.key.Hash, err)
 	}
@@ -372,6 +417,10 @@ func (s *Scheduler) SingleSpec(bench string, p workload.Params, sp sim.Spec) (si
 		if d.key, err = SingleSpecKey(bench, p, sp); err != nil {
 			return fail, s.rejectSpec("single", []string{bench}, sp.Name, err)
 		}
+		if s.cfg.Runner != nil {
+			d.task = &TaskSpec{Kind: "single", Benches: []string{bench},
+				Scale: p.Scale, Seed: p.Seed, Cores: 1, Spec: sp, Key: d.key.Hash}
+		}
 	}
 	v, err := s.do(d,
 		func() (any, error) {
@@ -418,6 +467,10 @@ func (s *Scheduler) MultiSpec(benches []string, p workload.Params, sp sim.Spec) 
 		if sharedDesc.key, err = SharedSpecKey(benches, p, sp); err != nil {
 			return fail, s.rejectSpec("shared", benches, sp.Name, err)
 		}
+		if s.cfg.Runner != nil {
+			sharedDesc.task = &TaskSpec{Kind: "shared", Benches: benches,
+				Scale: p.Scale, Seed: p.Seed, Cores: n, Spec: sp, Key: sharedDesc.key.Hash}
+		}
 	}
 	// Alone runs never need telemetry: their only consumer is speedup
 	// normalization, and tracing is observation-only, so stripping it keeps
@@ -462,13 +515,18 @@ func (s *Scheduler) MultiSpec(benches []string, p workload.Params, sp sim.Spec) 
 		go func(i int) {
 			defer wg.Done()
 			b := benches[i]
-			v, err := s.do(jobDesc{
+			aloneDesc := jobDesc{
 				kind:      "alone",
 				benches:   []string{b},
 				setupName: aloneSpec.Name,
 				key:       aloneKeys[i],
 				cacheable: true,
-			},
+			}
+			if s.cfg.Runner != nil {
+				aloneDesc.task = &TaskSpec{Kind: "alone", Benches: []string{b},
+					Scale: p.Scale, Seed: p.Seed, Cores: n, Spec: aloneSpec, Key: aloneKeys[i].Hash}
+			}
+			v, err := s.do(aloneDesc,
 				func() (any, error) {
 					r, err := sim.RunAloneSpec(b, p, aloneSpec, n)
 					if err != nil {

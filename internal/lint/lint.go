@@ -202,6 +202,17 @@ var determinismPackages = append([]string{
 	"internal/core",
 }, simCorePackages...)
 
+// servingPackages further extends the scope with the orchestration layer:
+// the scheduler, the result store, and the HTTP job service. Map-iteration
+// order here can leak into re-dispatch order, journal contents, or rendered
+// metrics, so maporder applies; walltime does not — the serving layer
+// legitimately reads the clock for lease TTLs, journal timestamps, and
+// latency histograms.
+var servingPackages = append([]string{
+	"internal/jobs",
+	"internal/server",
+}, determinismPackages...)
+
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{

@@ -26,7 +26,7 @@ import (
 var MapOrder = &Analyzer{
 	Name:  "maporder",
 	Doc:   "flags range-over-map in determinism-sensitive packages; iterate sorted keys, use the collect-then-sort idiom, or annotate //ldslint:ordered <reason>",
-	Scope: suffixScope(determinismPackages...),
+	Scope: suffixScope(servingPackages...),
 	Run:   runMapOrder,
 }
 

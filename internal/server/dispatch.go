@@ -1,0 +1,577 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"ldsprefetch/internal/jobs"
+)
+
+// DefaultLeaseTTL is the lease lifetime used when Options.LeaseTTL is zero:
+// a worker batch that goes this long without a heartbeat is presumed lost
+// and its unfinished tasks are re-dispatched.
+const DefaultLeaseTTL = 30 * time.Second
+
+// Task states. A task is born pending, becomes leased when granted to a
+// worker, and is done once a result or error is accepted for it. Lease
+// expiry and release move leased tasks back to pending (a re-dispatch).
+const (
+	taskPending = iota
+	taskLeased
+	taskDone
+)
+
+// dispTask is one transportable job awaiting (or under) remote execution.
+type dispTask struct {
+	id           string
+	spec         jobs.TaskSpec
+	out          chan dispOutcome // buffered 1; the blocked RunTask call reads it
+	state        int
+	lease        string // owning lease id while leased
+	redispatches int
+}
+
+// doneTask is the residue of a completed task: enough to classify late
+// pushes (expired leases, released-but-still-running workers) as duplicate
+// or conflicting without retaining the full result of every cell of a
+// 10^5+-point sweep. Result pushes keep a SHA-256 of the accepted bytes;
+// error pushes only the fact of the error (error text includes
+// nondeterministic stack traces, so repeats are never scored as conflicts).
+type doneTask struct {
+	sum     [32]byte
+	errored bool
+}
+
+// dispOutcome is what a completed task delivers back to RunTask.
+type dispOutcome struct {
+	result json.RawMessage
+	err    error
+}
+
+// dispLease is one granted batch: which worker holds which tasks until when.
+type dispLease struct {
+	id      string
+	worker  string
+	expires time.Time
+	tasks   map[string]*dispTask
+}
+
+// workerStats aggregates per-worker protocol counters for /metrics and
+// /api/v1/workers.
+type workerStats struct {
+	LeasesGranted  int64     `json:"leases_granted"`
+	Heartbeats     int64     `json:"heartbeats"`
+	LeasesExpired  int64     `json:"leases_expired"`
+	LeasesReleased int64     `json:"leases_released"`
+	TasksCompleted int64     `json:"tasks_completed"`
+	TasksFailed    int64     `json:"tasks_failed"`
+	LastSeen       time.Time `json:"last_seen"`
+}
+
+// dispatcher is the coordinator's task board: it implements jobs.Runner by
+// queueing transportable tasks and blocking until a pull-based worker
+// leases, executes, and pushes them. Expiry is lazy — every entry point
+// first re-queues tasks of overdue leases — so there is no background
+// goroutine: re-dispatch happens at the next worker poll, which is the
+// first moment it could matter. All methods are safe for concurrent use.
+type dispatcher struct {
+	ttl time.Duration
+	now func() time.Time // injectable clock for expiry tests
+
+	mu           sync.Mutex
+	pending      []*dispTask          // FIFO dispatch order
+	tasks        map[string]*dispTask // open (pending or leased) tasks
+	done         map[string]doneTask  // completed tasks, for late-push triage
+	leases       map[string]*dispLease
+	workers      map[string]*workerStats
+	nextTask     int
+	nextLease    int
+	draining     bool
+	closed       bool
+	redispatched int64 // tasks re-queued after lease expiry or release
+	conflicts    int64 // pushed results disagreeing with the accepted one
+}
+
+func newDispatcher(ttl time.Duration) *dispatcher {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &dispatcher{
+		ttl:     ttl,
+		now:     time.Now,
+		tasks:   make(map[string]*dispTask),
+		done:    make(map[string]doneTask),
+		leases:  make(map[string]*dispLease),
+		workers: make(map[string]*workerStats),
+	}
+}
+
+// errDispatchClosed fails tasks still queued when the dispatcher shuts down
+// (cannot happen on the normal drain path, which waits sweeps out first).
+var errDispatchClosed = errors.New("server: dispatcher shut down before the task ran")
+
+// RunTask implements jobs.Runner: enqueue the task and block until a worker
+// pushes its result (or the dispatcher is closed under it).
+func (d *dispatcher) RunTask(t jobs.TaskSpec) (json.RawMessage, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, errDispatchClosed
+	}
+	d.nextTask++
+	task := &dispTask{
+		id:   "t" + strconv.Itoa(d.nextTask),
+		spec: t,
+		out:  make(chan dispOutcome, 1),
+	}
+	d.tasks[task.id] = task
+	d.pending = append(d.pending, task)
+	d.mu.Unlock()
+
+	o := <-task.out
+	return o.result, o.err
+}
+
+// stat returns (creating if needed) the counters for worker id, stamping
+// LastSeen. Caller holds mu.
+func (d *dispatcher) stat(worker string) *workerStats {
+	ws := d.workers[worker]
+	if ws == nil {
+		ws = &workerStats{}
+		d.workers[worker] = ws
+	}
+	ws.LastSeen = d.now()
+	return ws
+}
+
+// expireLocked re-queues the unfinished tasks of every overdue lease.
+// Caller holds mu. Leases are visited in id order so re-dispatch order is
+// deterministic given the same expiry set.
+func (d *dispatcher) expireLocked() {
+	now := d.now()
+	var overdue []string
+	for id, l := range d.leases { //ldslint:ordered collected then sorted below
+		if now.After(l.expires) {
+			overdue = append(overdue, id)
+		}
+	}
+	sort.Strings(overdue)
+	for _, id := range overdue {
+		l := d.leases[id]
+		d.requeueLocked(l)
+		if ws := d.workers[l.worker]; ws != nil {
+			ws.LeasesExpired++
+		}
+		delete(d.leases, id)
+	}
+}
+
+// requeueLocked returns a lease's unfinished tasks to the pending queue, in
+// task-id order. Caller holds mu and deletes the lease.
+func (d *dispatcher) requeueLocked(l *dispLease) {
+	var ids []string
+	for id, t := range l.tasks { //ldslint:ordered collected then sorted below
+		if t.state == taskLeased && t.lease == l.id {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, _ := strconv.Atoi(ids[i][1:])
+		b, _ := strconv.Atoi(ids[j][1:])
+		return a < b
+	})
+	for _, id := range ids {
+		t := l.tasks[id]
+		t.state = taskPending
+		t.lease = ""
+		t.redispatches++
+		d.redispatched++
+		d.pending = append(d.pending, t)
+	}
+}
+
+// leasedTask is the wire form of one granted task.
+type leasedTask struct {
+	ID   string        `json:"id"`
+	Key  string        `json:"key"`
+	Task jobs.TaskSpec `json:"task"`
+}
+
+// leaseGrant is the wire response to a successful lease request.
+type leaseGrant struct {
+	Lease string       `json:"lease"`
+	TTLms int64        `json:"ttl_ms"`
+	Tasks []leasedTask `json:"tasks"`
+}
+
+// lease grants up to max pending tasks to worker. A nil grant with
+// shutdown=false means no work right now (poll again); shutdown=true means
+// the coordinator is draining or closed and has nothing left to hand out —
+// workers should back off.
+func (d *dispatcher) lease(worker string, max int) (g *leaseGrant, shutdown bool) {
+	if max <= 0 {
+		max = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	d.stat(worker)
+
+	// Compact the queue past tasks completed while pending (late pushes).
+	var grant []*dispTask
+	i := 0
+	for ; i < len(d.pending) && len(grant) < max; i++ {
+		if t := d.pending[i]; t.state == taskPending {
+			grant = append(grant, t)
+		}
+	}
+	d.pending = d.pending[i:]
+	if len(grant) == 0 {
+		return nil, d.closed || d.draining
+	}
+
+	d.nextLease++
+	l := &dispLease{
+		id:      "l" + strconv.Itoa(d.nextLease),
+		worker:  worker,
+		expires: d.now().Add(d.ttl),
+		tasks:   make(map[string]*dispTask, len(grant)),
+	}
+	out := &leaseGrant{Lease: l.id, TTLms: d.ttl.Milliseconds()}
+	for _, t := range grant {
+		t.state = taskLeased
+		t.lease = l.id
+		l.tasks[t.id] = t
+		out.Tasks = append(out.Tasks, leasedTask{ID: t.id, Key: t.spec.Key, Task: t.spec})
+	}
+	d.leases[l.id] = l
+	d.stat(worker).LeasesGranted++
+	return out, false
+}
+
+// errNoLease reports a heartbeat or release against a lease the coordinator
+// no longer tracks (expired and re-dispatched, or never granted).
+var errNoLease = errors.New("no such lease (expired or unknown)")
+
+// heartbeat renews a lease's TTL.
+func (d *dispatcher) heartbeat(leaseID string) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	l := d.leases[leaseID]
+	if l == nil {
+		return 0, errNoLease
+	}
+	l.expires = d.now().Add(d.ttl)
+	d.stat(l.worker).Heartbeats++
+	return d.ttl, nil
+}
+
+// release returns a lease's unfinished tasks to the pending queue
+// immediately — the graceful-shutdown half of the protocol, so a worker
+// catching SIGTERM hands its batch back instead of leaking it until the
+// TTL. Releasing an unknown lease is a no-op (the lease may have expired
+// in the meantime; the tasks are already re-queued).
+func (d *dispatcher) release(leaseID string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	l := d.leases[leaseID]
+	if l == nil {
+		return 0
+	}
+	before := len(d.pending)
+	d.requeueLocked(l)
+	if ws := d.workers[l.worker]; ws != nil {
+		ws.LeasesReleased++
+	}
+	delete(d.leases, leaseID)
+	return len(d.pending) - before
+}
+
+// Push outcomes.
+const (
+	pushAccepted  = "accepted"  // first result for an open task
+	pushDuplicate = "duplicate" // task already done, result byte-identical
+	pushConflict  = "conflict"  // task already done, result DIFFERS
+)
+
+// errNoTask reports a push for a task the coordinator does not track (a
+// coordinator restart loses the in-memory board; see DISTRIBUTED.md).
+var errNoTask = errors.New("no such task")
+
+// push accepts one task's result (errMsg empty) or deterministic failure
+// (errMsg set). Pushes are judged by task, not lease: a worker whose lease
+// expired or was released mid-run may still push — simulations are
+// deterministic and content-addressed, so a late result is as good as the
+// re-dispatched one. A push for an already-done task is checked against the
+// accepted bytes: "duplicate" if identical, "conflict" (counted — it means
+// two nodes disagreed on a deterministic computation) if not.
+func (d *dispatcher) push(leaseID, taskID string, result json.RawMessage, errMsg string) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	worker := ""
+	if l := d.leases[leaseID]; l != nil {
+		worker = l.worker
+	}
+	if prev, ok := d.done[taskID]; ok {
+		// Late push for an already-completed task. Identical result bytes
+		// are the expected duplicate; differing bytes mean two nodes
+		// disagreed on a deterministic computation. Error repeats are
+		// always duplicates — error text carries nondeterministic stack
+		// traces.
+		if prev.errored || errMsg != "" {
+			return pushDuplicate, nil
+		}
+		if sha256.Sum256(result) == prev.sum {
+			return pushDuplicate, nil
+		}
+		d.conflicts++
+		return pushConflict, nil
+	}
+	t := d.tasks[taskID]
+	if t == nil {
+		return "", errNoTask
+	}
+	t.state = taskDone
+	t.lease = ""
+	delete(d.tasks, taskID)
+	if worker != "" {
+		ws := d.stat(worker)
+		if errMsg == "" {
+			ws.TasksCompleted++
+		} else {
+			ws.TasksFailed++
+		}
+	}
+	if errMsg != "" {
+		d.done[taskID] = doneTask{errored: true}
+		t.out <- dispOutcome{err: errors.New(errMsg)}
+	} else {
+		d.done[taskID] = doneTask{sum: sha256.Sum256(result)}
+		t.out <- dispOutcome{result: result}
+	}
+	d.closeLeaseIfDoneLocked(leaseID)
+	return pushAccepted, nil
+}
+
+// closeLeaseIfDoneLocked retires a lease whose every task has completed, so
+// finished batches do not linger until expiry. Caller holds mu.
+func (d *dispatcher) closeLeaseIfDoneLocked(leaseID string) {
+	l := d.leases[leaseID]
+	if l == nil {
+		return
+	}
+	for _, t := range l.tasks { //ldslint:ordered pure all-done predicate
+		if t.state != taskDone {
+			return
+		}
+	}
+	delete(d.leases, leaseID)
+}
+
+// setDraining flips the dispatcher into drain mode: leases for already
+// queued work keep flowing (in-flight sweeps must finish for Drain to
+// return), but an idle lease request now tells the worker to back off.
+func (d *dispatcher) setDraining() {
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
+}
+
+// close shuts the board: subsequent RunTask calls fail fast and any task
+// still queued (impossible on the normal drain path) fails with
+// errDispatchClosed rather than blocking its sweep forever.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.draining = true
+	var ids []string
+	for id := range d.tasks { //ldslint:ordered collected then sorted below
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := d.tasks[id]
+		if t.state != taskDone {
+			t.state = taskDone
+			t.out <- dispOutcome{err: errDispatchClosed}
+		}
+		delete(d.tasks, id)
+	}
+	d.pending = nil
+	d.leases = make(map[string]*dispLease)
+}
+
+// dispSnapshot is a point-in-time view of the board for /metrics and
+// /api/v1/workers.
+type dispSnapshot struct {
+	Pending      int
+	Leased       int
+	Redispatched int64
+	Conflicts    int64
+	Workers      []workerSnapshot // sorted by id
+}
+
+// workerSnapshot is one worker's protocol counters, as served by
+// GET /api/v1/workers.
+type workerSnapshot struct {
+	ID string `json:"id"`
+	workerStats
+	ActiveLeases int `json:"active_leases"`
+}
+
+// snapshot copies the board state (expiring overdue leases first, so the
+// numbers reflect what a worker poll would see).
+func (d *dispatcher) snapshot() dispSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	s := dispSnapshot{Redispatched: d.redispatched, Conflicts: d.conflicts}
+	for _, t := range d.tasks { //ldslint:ordered per-state counting is order-independent
+		switch t.state {
+		case taskPending:
+			s.Pending++
+		case taskLeased:
+			s.Leased++
+		}
+	}
+	active := make(map[string]int)
+	for _, l := range d.leases { //ldslint:ordered per-worker counting is order-independent
+		active[l.worker]++
+	}
+	ids := make([]string, 0, len(d.workers))
+	for id := range d.workers { //ldslint:ordered collected then sorted below
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s.Workers = append(s.Workers, workerSnapshot{
+			ID: id, workerStats: *d.workers[id], ActiveLeases: active[id],
+		})
+	}
+	return s
+}
+
+// ---- HTTP surface (coordinator side of the worker-pull protocol) ----
+// The endpoints, state machine, and failure modes are specified in
+// DISTRIBUTED.md.
+
+// leaseRequest is the POST /api/v1/work/leases body.
+type leaseRequest struct {
+	// Worker is the self-assigned worker id, labelling per-worker metrics.
+	Worker string `json:"worker"`
+	// Max bounds the batch size (default 1).
+	Max int `json:"max,omitempty"`
+}
+
+// pushRequest is the POST /api/v1/work/leases/{id}/results body: exactly
+// one of Result (the canonical result JSON) or Error (a deterministic
+// execution failure) per task.
+type pushRequest struct {
+	Task   string          `json:"task"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// needDispatch 404s work-protocol requests on a server that is not a
+// coordinator, with a hint instead of a bare not-found.
+func (s *Server) needDispatch(w http.ResponseWriter) *dispatcher {
+	if s.dispatch == nil {
+		httpError(w, http.StatusNotFound,
+			"distributed dispatch is disabled on this server; start the coordinator with -coordinator")
+	}
+	return s.dispatch
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	d := s.needDispatch(w)
+	if d == nil {
+		return
+	}
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding lease request: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "lease request needs a worker id")
+		return
+	}
+	g, shutdown := d.lease(req.Worker, req.Max)
+	if g == nil {
+		if shutdown {
+			httpError(w, http.StatusServiceUnavailable, "coordinator is draining; no further work")
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	d := s.needDispatch(w)
+	if d == nil {
+		return
+	}
+	ttl, err := d.heartbeat(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusGone, "lease %s: %v", r.PathValue("id"), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"ttl_ms": ttl.Milliseconds()})
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	d := s.needDispatch(w)
+	if d == nil {
+		return
+	}
+	var req pushRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding result push: %v", err)
+		return
+	}
+	if req.Task == "" || (req.Result == nil && req.Error == "") {
+		httpError(w, http.StatusBadRequest, "result push needs a task id and a result or error")
+		return
+	}
+	status, err := d.push(r.PathValue("id"), req.Task, req.Result, req.Error)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "task %s: %v", req.Task, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	d := s.needDispatch(w)
+	if d == nil {
+		return
+	}
+	n := d.release(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, map[string]int{"requeued": n})
+}
+
+// handleWorkers serves the per-worker protocol counters: who is connected,
+// when each worker last polled, and its lease/heartbeat/completion history.
+func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	d := s.needDispatch(w)
+	if d == nil {
+		return
+	}
+	snap := d.snapshot()
+	if snap.Workers == nil {
+		snap.Workers = []workerSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, snap.Workers)
+}

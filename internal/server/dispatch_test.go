@@ -1,0 +1,268 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ldsprefetch/internal/jobs"
+)
+
+// fakeClock drives the dispatcher's lazy expiry deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testDispatcher(ttl time.Duration) (*dispatcher, *fakeClock) {
+	d := newDispatcher(ttl)
+	c := newFakeClock()
+	d.now = c.now
+	return d, c
+}
+
+// enqueue starts RunTask in the background and returns the outcome channel.
+func enqueue(d *dispatcher, name string) <-chan dispOutcome {
+	out := make(chan dispOutcome, 1)
+	go func() {
+		res, err := d.RunTask(jobs.TaskSpec{Kind: "single", Benches: []string{name}})
+		out <- dispOutcome{result: res, err: err}
+	}()
+	return out
+}
+
+// waitQueued blocks until n tasks are on the board.
+func waitQueued(t *testing.T, d *dispatcher, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d.mu.Lock()
+		got := len(d.tasks)
+		d.mu.Unlock()
+		if got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d tasks queued, want %d", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLeaseExpiryRedispatches(t *testing.T) {
+	d, clk := testDispatcher(30 * time.Second)
+	out := enqueue(d, "a")
+	waitQueued(t, d, 1)
+
+	g1, shutdown := d.lease("w1", 10)
+	if shutdown || g1 == nil || len(g1.Tasks) != 1 {
+		t.Fatalf("first lease: grant=%v shutdown=%v", g1, shutdown)
+	}
+	// Nothing left for a second worker while the lease is live.
+	if g, _ := d.lease("w2", 10); g != nil {
+		t.Fatalf("task double-leased: %+v", g)
+	}
+
+	clk.advance(31 * time.Second)
+	g2, _ := d.lease("w2", 10)
+	if g2 == nil || len(g2.Tasks) != 1 || g2.Tasks[0].ID != g1.Tasks[0].ID {
+		t.Fatalf("expired task not re-dispatched: %+v", g2)
+	}
+	snap := d.snapshot()
+	if snap.Redispatched != 1 {
+		t.Fatalf("Redispatched = %d, want 1", snap.Redispatched)
+	}
+	var w1 *workerSnapshot
+	for i := range snap.Workers {
+		if snap.Workers[i].ID == "w1" {
+			w1 = &snap.Workers[i]
+		}
+	}
+	if w1 == nil || w1.LeasesExpired != 1 {
+		t.Fatalf("w1 expiry not counted: %+v", w1)
+	}
+
+	if st, err := d.push(g2.Lease, g2.Tasks[0].ID, json.RawMessage(`{"n":1}`), ""); err != nil || st != pushAccepted {
+		t.Fatalf("push after re-dispatch: status=%q err=%v", st, err)
+	}
+	o := <-out
+	if o.err != nil || string(o.result) != `{"n":1}` {
+		t.Fatalf("RunTask returned %q, %v", o.result, o.err)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	d, clk := testDispatcher(30 * time.Second)
+	out := enqueue(d, "a")
+	waitQueued(t, d, 1)
+	g, _ := d.lease("w1", 1)
+
+	// Renew at 25s: without the heartbeat the lease would lapse at 30s.
+	clk.advance(25 * time.Second)
+	if _, err := d.heartbeat(g.Lease); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(25 * time.Second) // t=50s, past the original expiry
+	if g2, _ := d.lease("w2", 1); g2 != nil {
+		t.Fatalf("heartbeated lease expired anyway; task re-leased: %+v", g2)
+	}
+	if st, err := d.push(g.Lease, g.Tasks[0].ID, json.RawMessage(`{}`), ""); err != nil || st != pushAccepted {
+		t.Fatalf("push on renewed lease: status=%q err=%v", st, err)
+	}
+	<-out
+}
+
+func TestHeartbeatAfterExpiryIsGone(t *testing.T) {
+	d, clk := testDispatcher(30 * time.Second)
+	out := enqueue(d, "a")
+	waitQueued(t, d, 1)
+	g, _ := d.lease("w1", 1)
+	clk.advance(31 * time.Second)
+	if _, err := d.heartbeat(g.Lease); !errors.Is(err, errNoLease) {
+		t.Fatalf("heartbeat on expired lease: %v, want errNoLease", err)
+	}
+	// Heartbeating an unknown lease is the same answer.
+	if _, err := d.heartbeat("l999"); !errors.Is(err, errNoLease) {
+		t.Fatalf("heartbeat on unknown lease: %v, want errNoLease", err)
+	}
+	d.close()
+	<-out
+}
+
+func TestLatePushDuplicateAndConflict(t *testing.T) {
+	d, clk := testDispatcher(30 * time.Second)
+	out := enqueue(d, "a")
+	waitQueued(t, d, 1)
+	g1, _ := d.lease("w1", 1)
+	clk.advance(31 * time.Second)
+	g2, _ := d.lease("w2", 1)
+	if g2 == nil {
+		t.Fatal("expired task not re-leased")
+	}
+
+	// w1 finishes first despite having lost its lease: the push is for an
+	// open task, so it is accepted — determinism makes it as good as w2's.
+	if st, err := d.push(g1.Lease, g1.Tasks[0].ID, json.RawMessage(`{"n":1}`), ""); err != nil || st != pushAccepted {
+		t.Fatalf("late push on open task: status=%q err=%v", st, err)
+	}
+	if o := <-out; o.err != nil {
+		t.Fatal(o.err)
+	}
+	// w2 pushes the identical bytes: duplicate, not conflict.
+	if st, err := d.push(g2.Lease, g2.Tasks[0].ID, json.RawMessage(`{"n":1}`), ""); err != nil || st != pushDuplicate {
+		t.Fatalf("identical repeat push: status=%q err=%v", st, err)
+	}
+	// A third push with different bytes is a determinism violation.
+	if st, err := d.push(g2.Lease, g2.Tasks[0].ID, json.RawMessage(`{"n":2}`), ""); err != nil || st != pushConflict {
+		t.Fatalf("differing repeat push: status=%q err=%v", st, err)
+	}
+	if snap := d.snapshot(); snap.Conflicts != 1 {
+		t.Fatalf("Conflicts = %d, want 1", snap.Conflicts)
+	}
+}
+
+func TestPushUnknownTask(t *testing.T) {
+	d, _ := testDispatcher(0)
+	if _, err := d.push("l1", "t999", json.RawMessage(`{}`), ""); !errors.Is(err, errNoTask) {
+		t.Fatalf("push for unknown task: %v, want errNoTask", err)
+	}
+}
+
+func TestErrorPushFailsTask(t *testing.T) {
+	d, _ := testDispatcher(0)
+	out := enqueue(d, "a")
+	waitQueued(t, d, 1)
+	g, _ := d.lease("w1", 1)
+	if st, err := d.push(g.Lease, g.Tasks[0].ID, nil, "spec exploded"); err != nil || st != pushAccepted {
+		t.Fatalf("error push: status=%q err=%v", st, err)
+	}
+	o := <-out
+	if o.err == nil || o.err.Error() != "spec exploded" {
+		t.Fatalf("RunTask error = %v, want the pushed message", o.err)
+	}
+	// An error repeat is always a duplicate (stack traces differ per node).
+	if st, err := d.push(g.Lease, g.Tasks[0].ID, nil, "different text"); err != nil || st != pushDuplicate {
+		t.Fatalf("repeated error push: status=%q err=%v", st, err)
+	}
+}
+
+func TestReleaseRequeuesImmediately(t *testing.T) {
+	d, _ := testDispatcher(30 * time.Second)
+	o1, o2 := enqueue(d, "a"), enqueue(d, "b")
+	waitQueued(t, d, 2)
+	g, _ := d.lease("w1", 2)
+	if len(g.Tasks) != 2 {
+		t.Fatalf("leased %d tasks, want 2", len(g.Tasks))
+	}
+	// w1 finishes one task, then drains: the other goes straight back.
+	if _, err := d.push(g.Lease, g.Tasks[0].ID, json.RawMessage(`{}`), ""); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.release(g.Lease); n != 1 {
+		t.Fatalf("release requeued %d tasks, want 1", n)
+	}
+	// No clock advance needed — the unfinished task is leasable now.
+	g2, _ := d.lease("w2", 2)
+	if g2 == nil || len(g2.Tasks) != 1 || g2.Tasks[0].ID != g.Tasks[1].ID {
+		t.Fatalf("released task not immediately leasable: %+v", g2)
+	}
+	if n := d.release("l999"); n != 0 {
+		t.Fatalf("releasing unknown lease requeued %d", n)
+	}
+	if _, err := d.push(g2.Lease, g2.Tasks[0].ID, json.RawMessage(`{}`), ""); err != nil {
+		t.Fatal(err)
+	}
+	<-o1
+	<-o2
+}
+
+func TestDrainingSignalsIdleWorkers(t *testing.T) {
+	d, _ := testDispatcher(0)
+	out := enqueue(d, "a")
+	waitQueued(t, d, 1)
+	d.setDraining()
+	// Queued work still flows during drain — in-flight sweeps must finish.
+	g, shutdown := d.lease("w1", 1)
+	if g == nil || shutdown {
+		t.Fatalf("drain starved queued work: grant=%v shutdown=%v", g, shutdown)
+	}
+	// But an idle poll now tells the worker to back off.
+	if g2, shutdown := d.lease("w2", 1); g2 != nil || !shutdown {
+		t.Fatalf("idle poll during drain: grant=%v shutdown=%v, want nil+true", g2, shutdown)
+	}
+	if _, err := d.push(g.Lease, g.Tasks[0].ID, json.RawMessage(`{}`), ""); err != nil {
+		t.Fatal(err)
+	}
+	<-out
+}
+
+func TestCloseFailsQueuedTasks(t *testing.T) {
+	d, _ := testDispatcher(0)
+	out := enqueue(d, "a")
+	waitQueued(t, d, 1)
+	d.close()
+	if o := <-out; !errors.Is(o.err, errDispatchClosed) {
+		t.Fatalf("queued task on close: %v, want errDispatchClosed", o.err)
+	}
+	if _, err := d.RunTask(jobs.TaskSpec{Kind: "single"}); !errors.Is(err, errDispatchClosed) {
+		t.Fatalf("RunTask after close: %v, want errDispatchClosed", err)
+	}
+}

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ldsprefetch/internal/jobs"
+)
+
+// WorkerOptions configures a pull-based sweep worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// ID names this worker in leases and per-worker metrics (default
+	// "<hostname>-<pid>").
+	ID string
+	// CacheDir, when non-empty, backs the worker's scheduler with a result
+	// store. Pointing every worker and the coordinator at one shared store
+	// (same directory on one machine; a shared backend across machines)
+	// deduplicates work across the fleet.
+	CacheDir string
+	// Workers bounds concurrent simulations (default NumCPU).
+	Workers int
+	// Batch is the maximum tasks leased at once (default Workers).
+	Batch int
+	// Verify re-executes local cache hits as a determinism check; on a
+	// shared store this cross-checks results computed by other nodes.
+	Verify bool
+	// JobTimeout and JobRetries mirror the scheduler options.
+	JobTimeout time.Duration
+	JobRetries int
+	// Poll is the idle wait between lease requests that found no work
+	// (default 2s).
+	Poll time.Duration
+	// Backoff is the base wait after a coordinator error or 503; it doubles
+	// per consecutive failure, capped at 15×Backoff (default 1s).
+	Backoff time.Duration
+	// Logf, when non-nil, receives progress lines (default: discarded).
+	Logf func(format string, args ...any)
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// Worker is the pull half of the distributed sweep protocol: it leases task
+// batches from a coordinator, executes them on a local jobs.Scheduler
+// (cache, dedup, panic containment, and verify mode all apply), heartbeats
+// while working, and pushes each result as it completes. See DISTRIBUTED.md
+// for the protocol and failure-mode catalog.
+type Worker struct {
+	opts   WorkerOptions
+	base   string
+	sched  *jobs.Scheduler
+	client *http.Client
+}
+
+// NewWorker builds a Worker, opening its result store when configured.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Coordinator == "" {
+		return nil, fmt.Errorf("server: worker needs a coordinator URL")
+	}
+	if opts.ID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		opts.ID = host + "-" + strconv.Itoa(os.Getpid())
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = opts.Workers
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 2 * time.Second
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	cfg := jobs.Config{
+		Workers: opts.Workers,
+		Verify:  opts.Verify,
+		Timeout: opts.JobTimeout,
+		Retries: opts.JobRetries,
+	}
+	if opts.CacheDir != "" {
+		store, err := jobs.Open(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = store
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Worker{
+		opts:   opts,
+		base:   strings.TrimRight(opts.Coordinator, "/"),
+		sched:  jobs.New(cfg),
+		client: client,
+	}, nil
+}
+
+// Scheduler returns the worker's scheduler (its metrics feed worker-side
+// observability).
+func (w *Worker) Scheduler() *jobs.Scheduler { return w.sched }
+
+// Run pulls and executes batches until ctx is cancelled. Cancellation is
+// the graceful drain: the worker stops leasing, releases its in-flight
+// lease so the coordinator re-dispatches unfinished tasks immediately
+// instead of waiting out the TTL, lets already-running simulations finish,
+// and pushes their results (the coordinator accepts late pushes for open
+// tasks). Run returns nil on drain; it returns an error only when the
+// coordinator is unusable (e.g. not running in coordinator mode).
+func (w *Worker) Run(ctx context.Context) error {
+	fails := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		g, code, err := w.lease()
+		switch {
+		case err != nil:
+			fails++
+			w.opts.Logf("worker %s: lease: %v (retrying)", w.opts.ID, err)
+			if !sleepCtx(ctx, w.backoff(fails)) {
+				return nil
+			}
+		case code == http.StatusServiceUnavailable:
+			fails++
+			w.opts.Logf("worker %s: coordinator draining; backing off", w.opts.ID)
+			if !sleepCtx(ctx, w.backoff(fails)) {
+				return nil
+			}
+		case code == http.StatusNotFound:
+			return fmt.Errorf("server: %s does not dispatch work; start the coordinator with -coordinator", w.base)
+		case code == http.StatusNoContent:
+			fails = 0
+			if !sleepCtx(ctx, w.opts.Poll) {
+				return nil
+			}
+		case code == http.StatusOK:
+			fails = 0
+			w.runBatch(ctx, g)
+		default:
+			fails++
+			w.opts.Logf("worker %s: lease: unexpected status %d", w.opts.ID, code)
+			if !sleepCtx(ctx, w.backoff(fails)) {
+				return nil
+			}
+		}
+	}
+}
+
+// backoff is the capped exponential wait after the n-th consecutive failure.
+func (w *Worker) backoff(n int) time.Duration {
+	d := w.opts.Backoff
+	for i := 1; i < n && d < 15*w.opts.Backoff; i++ {
+		d *= 2
+	}
+	if max := 15 * w.opts.Backoff; d > max {
+		d = max
+	}
+	return d
+}
+
+// sleepCtx sleeps for d, returning false if ctx was cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// runBatch executes one leased batch: heartbeat in the background, feed
+// tasks to executor goroutines, push each outcome as it completes. On ctx
+// cancellation the feed closes (unstarted tasks never run), the lease is
+// released, and in-flight tasks finish and push late.
+func (w *Worker) runBatch(ctx context.Context, g *leaseGrant) {
+	w.opts.Logf("worker %s: leased %s (%d tasks, ttl %dms)",
+		w.opts.ID, g.Lease, len(g.Tasks), g.TTLms)
+
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeatLoop(g, hbStop)
+	}()
+
+	feed := make(chan leasedTask)
+	var wg sync.WaitGroup
+	n := w.opts.Workers
+	if n > len(g.Tasks) {
+		n = len(g.Tasks)
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lt := range feed {
+				raw, err := w.sched.ExecTask(lt.Task)
+				w.push(g.Lease, lt.ID, raw, err)
+			}
+		}()
+	}
+	cancelled := false
+feeding:
+	for _, lt := range g.Tasks {
+		select {
+		case feed <- lt:
+		case <-ctx.Done():
+			cancelled = true
+			break feeding
+		}
+	}
+	close(feed)
+	if cancelled {
+		// Hand unfinished tasks back now rather than leaking the lease
+		// until its TTL; tasks already executing push late, which the
+		// coordinator accepts while they remain open.
+		w.release(g.Lease)
+		w.opts.Logf("worker %s: released %s on shutdown", w.opts.ID, g.Lease)
+	}
+	wg.Wait()
+	close(hbStop)
+	hbWG.Wait()
+}
+
+// heartbeatLoop renews the lease at a third of its TTL until stopped. A
+// Gone response means the lease already expired (the coordinator will
+// re-dispatch); the loop stops renewing and lets pushes settle ownership.
+func (w *Worker) heartbeatLoop(g *leaseGrant, stop <-chan struct{}) {
+	interval := time.Duration(g.TTLms) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			code, err := w.post("/api/v1/work/leases/"+g.Lease+"/heartbeat", nil, nil)
+			if err != nil {
+				w.opts.Logf("worker %s: heartbeat %s: %v", w.opts.ID, g.Lease, err)
+			} else if code == http.StatusGone {
+				w.opts.Logf("worker %s: lease %s expired under us; coordinator will re-dispatch", w.opts.ID, g.Lease)
+				return
+			}
+		}
+	}
+}
+
+// lease requests one batch. The grant is nil unless code is 200.
+func (w *Worker) lease() (*leaseGrant, int, error) {
+	var g leaseGrant
+	code, err := w.post("/api/v1/work/leases",
+		leaseRequest{Worker: w.opts.ID, Max: w.opts.Batch}, &g)
+	if err != nil || code != http.StatusOK {
+		return nil, code, err
+	}
+	return &g, code, nil
+}
+
+// push reports one task outcome, retrying transient transport failures a
+// few times; a task whose push ultimately fails is recovered by lease
+// expiry at the coordinator.
+func (w *Worker) push(lease, task string, raw json.RawMessage, execErr error) {
+	req := pushRequest{Task: task, Result: raw}
+	if execErr != nil {
+		req = pushRequest{Task: task, Error: execErr.Error()}
+	}
+	var status map[string]string
+	for attempt := 1; ; attempt++ {
+		code, err := w.post("/api/v1/work/leases/"+lease+"/results", req, &status)
+		if err == nil && code == http.StatusOK {
+			if st := status["status"]; st == pushConflict {
+				w.opts.Logf("worker %s: task %s: coordinator reports result CONFLICT (cross-node determinism violation?)", w.opts.ID, task)
+			}
+			return
+		}
+		if err == nil {
+			// Non-200 is a protocol answer (task unknown after a
+			// coordinator restart, bad request); retrying cannot help.
+			w.opts.Logf("worker %s: push %s/%s rejected with status %d", w.opts.ID, lease, task, code)
+			return
+		}
+		if attempt >= 3 {
+			w.opts.Logf("worker %s: push %s/%s failed after %d attempts: %v (lease expiry will re-dispatch)",
+				w.opts.ID, lease, task, attempt, err)
+			return
+		}
+		time.Sleep(w.opts.Backoff)
+	}
+}
+
+// release hands the lease's unfinished tasks back to the coordinator.
+func (w *Worker) release(lease string) {
+	if _, err := w.post("/api/v1/work/leases/"+lease+"/release", nil, nil); err != nil {
+		w.opts.Logf("worker %s: release %s: %v (lease expiry will re-dispatch)", w.opts.ID, lease, err)
+	}
+}
+
+// post sends body (JSON-encoded, nil for empty) to path and decodes a 200
+// response into out when non-nil. It returns the status code; err is
+// transport-level only.
+func (w *Worker) post(path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	resp, err := w.client.Post(w.base+path, "application/json", rd)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s response: %w", path, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, nil
+}
