@@ -10,6 +10,7 @@
 //	ldssim -bench mst -spec '{"name":"x","components":[{"kind":"stream"}]}'
 //	ldssim -bench mst -trace /tmp/t                       # + JSONL telemetry
 //	ldssim -bench mst -cache results/cache                # cached re-runs
+//	ldssim -replay run.ldstrc -config cdp+throttle        # replay a capture
 //	ldssim -list
 //	ldssim -list-configs
 //
@@ -29,6 +30,11 @@
 // interval-series and throttle-event JSONL files (schemas: OBSERVABILITY.md)
 // plus a reproducibility manifest; -out <dir> persists the printed summary
 // and a manifest.
+//
+// -replay <file> runs a trace capture (ldstrace capture, format:
+// TRACEFORMAT.md) instead of generating a workload; the capture's
+// digest is verified on load and recorded in persisted manifests, and the
+// report is byte-identical to running the captured generator directly.
 package main
 
 import (
@@ -50,6 +56,7 @@ import (
 	"ldsprefetch/internal/profiling"
 	"ldsprefetch/internal/sim"
 	"ldsprefetch/internal/sim/registry"
+	"ldsprefetch/internal/tracefile"
 	"ldsprefetch/internal/workload"
 )
 
@@ -75,20 +82,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	listConfigs := flag.Bool("list-configs", false, "list named configurations and registered components, then exit")
+	replay := flag.String("replay", "", "trace capture file to replay as the benchmark (overrides -bench)")
 	traceDir := flag.String("trace", "", "directory for interval/event JSONL traces (+ manifest)")
 	outDir := flag.String("out", "", "directory to persist the run summary (+ manifest)")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory")
 	flag.Parse()
 
 	if *list {
-		for _, n := range workload.Names() {
-			g, _ := workload.Get(n)
-			kind := "streaming"
-			if g.PointerIntensive {
-				kind = "pointer-intensive"
-			}
-			fmt.Printf("%-12s %-18s %s\n", n, kind, g.Description)
-		}
+		printWorkloads(os.Stdout)
 		return
 	}
 	if *listConfigs {
@@ -103,6 +104,23 @@ func main() {
 	train := workload.Train()
 	train.Scale *= *scale
 	benches := strings.Split(*bench, ",")
+
+	// A replayed capture substitutes for -bench: the capture registers as a
+	// content-addressed workload and its provenance lands in the manifest.
+	var traceRef *exp.TraceFileRef
+	if *replay != "" {
+		name, hdr, err := loadReplay(*replay)
+		if err != nil {
+			fatal(fmt.Sprintf("ldssim: %v", err))
+		}
+		benches = []string{name}
+		traceRef = &exp.TraceFileRef{
+			Path:          *replay,
+			Generator:     hdr.Meta.Generator,
+			Digest:        tracefile.HexDigest(hdr.Digest),
+			FormatVersion: hdr.FormatVersion,
+		}
+	}
 
 	var setup sim.Spec
 	if *specArg != "" {
@@ -190,7 +208,7 @@ func main() {
 			}
 		}
 		cacheSummary(*cacheDir, sched)
-		persist(*traceDir, *outDir, configLabel, benches, *scale, *seed, sb.String())
+		persist(*traceDir, *outDir, configLabel, benches, *scale, *seed, traceRef, sb.String())
 		return
 	}
 
@@ -218,7 +236,42 @@ func main() {
 		}
 	}
 	cacheSummary(*cacheDir, sched)
-	persist(*traceDir, *outDir, configLabel, benches, *scale, *seed, sb.String())
+	persist(*traceDir, *outDir, configLabel, benches, *scale, *seed, traceRef, sb.String())
+}
+
+// loadReplay registers the capture at path as a workload and returns its
+// registered name and parsed header.
+func loadReplay(path string) (string, tracefile.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", tracefile.Header{}, err
+	}
+	r, err := tracefile.NewReader(f)
+	f.Close()
+	if err != nil {
+		return "", tracefile.Header{}, err
+	}
+	name, err := workload.FromTraceFile(path)
+	if err != nil {
+		return "", tracefile.Header{}, err
+	}
+	return name, r.Header(), nil
+}
+
+// printWorkloads lists the registered workload catalog: the paper's
+// benchmarks plus any server-class families and loaded trace captures.
+func printWorkloads(w io.Writer) {
+	for _, n := range workload.Names() {
+		g, _ := workload.Get(n)
+		kind := "streaming"
+		switch {
+		case g.PointerIntensive:
+			kind = "pointer-intensive"
+		case g.Server:
+			kind = "server"
+		}
+		fmt.Fprintf(w, "%-12s %-18s %s\n", n, kind, g.Description)
+	}
 }
 
 // loadSpec parses the -spec argument: inline JSON when it looks like a JSON
@@ -268,6 +321,8 @@ func printConfigs() {
 		fmt.Printf("  %-10s v%-2d claims_throttle=%-5v min_switchable=%d\n",
 			in.Kind, in.Version, in.ClaimsThrottle, in.MinSwitchable)
 	}
+	fmt.Println("\nworkloads (-bench):")
+	printWorkloads(os.Stdout)
 }
 
 // cacheSummary reports cache provenance on stderr when a cache is in use.
@@ -282,9 +337,10 @@ func cacheSummary(cacheDir string, sched *jobs.Scheduler) {
 
 // persist writes the reproducibility manifest into each requested directory
 // and the captured summary into <out>/run.txt.
-func persist(traceDir, outDir, config string, benches []string, scale float64, seed int64, summary string) {
+func persist(traceDir, outDir, config string, benches []string, scale float64, seed int64, traceRef *exp.TraceFileRef, summary string) {
 	m := exp.NewManifest("ldssim/"+config, scale, seed, 0)
 	m.Benchmarks = benches
+	m.TraceFile = traceRef
 	for _, dir := range []string{traceDir, outDir} {
 		if dir == "" {
 			continue

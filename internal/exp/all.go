@@ -32,6 +32,7 @@ var Registry = []RegistryEntry{
 	{"sec72", "coarse-grained per-load control", one(Sec72)},
 	{"sec74", "PAB best-prefetcher selection", one(Sec74)},
 	{"ablate", "design-choice sweeps (depth/thresholds/interval/hint cut)", Ablations},
+	{"serverfam", "server-class workload families (beyond the paper)", one(ServerFamilies)},
 }
 
 func one(f func(*Context) Report) func(*Context) []Report {

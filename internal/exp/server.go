@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"ldsprefetch/internal/workload/serverload"
+)
+
+// ServerFamilies runs the beyond-the-paper server-class workload chapter
+// (EXPERIMENTS.md): the paper's full configuration grid applied to the
+// serverload families — Zipfian request streams over million-object
+// key-value, B+-tree, and graph-serving state. The question is whether the
+// paper's profile-guided throttled hybrid, designed around SPEC/Olden-style
+// single-program traversals, still earns its bandwidth on multi-user
+// server heaps where the hot set is popularity-skewed rather than
+// traversal-ordered.
+//
+// Importing this package (every exp consumer does) also registers the
+// families in the workload catalog.
+func ServerFamilies(c *Context) Report {
+	benches := serverload.Families()
+	grids := c.Grids(benches)
+	r := Report{
+		ID:    "serverfam",
+		Title: "Server-class workload families (beyond the paper)",
+		Header: []string{"bench", "stream-speedup", "cdp-rel", "cdp+thr-rel",
+			"ecdp-rel", "ecdp+thr-rel", "ideal-rel", "BPKI-rel"},
+	}
+	var rel, bw []float64
+	for _, g := range grids {
+		ipcRel := g.ECDPT.IPC / g.Base.IPC
+		bwRel := safeDiv(g.ECDPT.BPKI, g.Base.BPKI)
+		rel = append(rel, ipcRel)
+		bw = append(bw, bwRel)
+		r.Rows = append(r.Rows, []string{g.Bench,
+			f3(g.Base.IPC / g.NoPF.IPC),
+			f3(g.CDP.IPC / g.Base.IPC),
+			f3(g.CDPT.IPC / g.Base.IPC),
+			f3(g.ECDP.IPC / g.Base.IPC),
+			f3(ipcRel),
+			f3(g.Ideal.IPC / g.Base.IPC),
+			f2(bwRel)})
+	}
+	r.Rows = append(r.Rows, []string{"gmean", "", "", "", "", f3(gmean(rel)), "", f2(gmean(bw))})
+	r.Notes = append(r.Notes,
+		"beyond the paper: server families are not part of any reproduced figure",
+		"profiling uses the train input of each family (same generators, smaller Zipfian stream)")
+	return r
+}

@@ -212,12 +212,30 @@ type Manifest struct {
 	SchemaVersion int `json:"schema_version"`
 	// GeneratedAt is the UTC RFC 3339 creation time.
 	GeneratedAt string `json:"generated_at"`
+	// TraceFile records the capture a trace-replay run replayed: the paired
+	// digest is the replay's full provenance (the benchmark label
+	// "trace:<digest12>" embeds its prefix, so cache keys and reports are
+	// content-addressed to the capture).
+	TraceFile *TraceFileRef `json:"trace_file,omitempty"`
 	// Cache summarizes result-cache effectiveness when a cache was in use.
 	Cache *CacheSummary `json:"cache,omitempty"`
 	// Jobs records per-job provenance — whether each simulation was served
 	// from the cache ("hit"), executed ("computed"/"uncached"), coalesced
 	// with an identical in-flight job, or failed.
 	Jobs []jobs.Record `json:"jobs,omitempty"`
+}
+
+// TraceFileRef is the manifest's record of a replayed trace capture
+// (TRACEFORMAT.md).
+type TraceFileRef struct {
+	// Path is the capture file as given on the command line.
+	Path string `json:"path"`
+	// Generator is the workload that produced the capture, from its header.
+	Generator string `json:"generator,omitempty"`
+	// Digest is the hex SHA-256 of the capture's canonical encoding.
+	Digest string `json:"digest"`
+	// FormatVersion is the capture's trace file format version.
+	FormatVersion uint32 `json:"format_version"`
 }
 
 // CacheSummary is the manifest's record of cache effectiveness.

@@ -27,7 +27,7 @@ import (
 var CheckedMath = &Analyzer{
 	Name:  "checkedmath",
 	Doc:   "flags raw +/* and truncating conversions on uint32 addresses/sizes in workload generators; use the checked Alloc/sizeU32-style helpers or annotate //ldslint:checkedmath <reason>",
-	Scope: suffixScope("internal/workload"),
+	Scope: suffixScope("internal/workload", "internal/workload/serverload", "internal/tracefile"),
 	Run:   runCheckedMath,
 }
 

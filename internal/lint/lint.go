@@ -192,6 +192,8 @@ var simCorePackages = []string{
 	"internal/telemetry",
 	"internal/mem",
 	"internal/workload",
+	"internal/workload/serverload",
+	"internal/tracefile",
 }
 
 // determinismPackages extends the simulation core with the packages that

@@ -19,7 +19,10 @@
 // never alias with heap pointers under an 8-compare-bit matcher.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Region base addresses of the simulated address space.
 const (
@@ -147,6 +150,37 @@ func (m *Memory) ReadBlock(addr uint32, dst []byte) {
 	}
 	o := addr & pageMask
 	copy(dst, p[o:o+n])
+}
+
+// PageSize is the granularity of the sparse page table, exported for
+// serialization code that snapshots and restores whole pages.
+const PageSize = pageSize
+
+// Pages returns the numbers of all allocated pages in ascending order.
+func (m *Memory) Pages() []uint32 {
+	pns := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
+}
+
+// PageBytes returns the contents of page pn, or nil if the page was never
+// written. The slice aliases the live page: callers must copy it if they
+// outlive the next write to this memory.
+func (m *Memory) PageBytes(pn uint32) []byte { return m.pages[pn] }
+
+// SetPageBytes installs data as the contents of page pn; shorter-than-page
+// data is zero-extended (unwritten tails read as zero, as always).
+func (m *Memory) SetPageBytes(pn uint32, data []byte) {
+	if len(data) > pageSize {
+		panic(fmt.Sprintf("mem: %d bytes exceed the %d-byte page", len(data), pageSize))
+	}
+	p := make([]byte, pageSize)
+	copy(p, data)
+	m.pages[pn] = p
+	m.lastPN = noPage
 }
 
 // Footprint returns the number of bytes of allocated (touched) pages.

@@ -181,6 +181,12 @@ func assemble(bench string, p workload.Params, sp Spec, ctrl *dram.Controller) (
 	if err != nil {
 		return nil, err
 	}
+	// Label the run by the trace's own name. For generator workloads the two
+	// are identical (builders stamp the registered name); for replayed
+	// captures (workload "trace:<digest>") the original generator name flows
+	// through, so a replayed run's report is byte-identical to the generated
+	// run it was captured from.
+	bench = tr.Name
 	if sp.IntervalLen > 0 {
 		mcfg.IntervalLen = sp.IntervalLen
 	}

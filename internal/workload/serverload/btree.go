@@ -1,0 +1,163 @@
+package serverload
+
+import (
+	"ldsprefetch/internal/trace"
+	"ldsprefetch/internal/workload"
+)
+
+// btree models a B+-tree index serving range scans: each request descends
+// from the root to a leaf (key-compare loads then a child-pointer chase per
+// level), then walks the linked leaf chain dereferencing per-record
+// pointers for the scan window. Descents are short dependent chains over a
+// hot upper tree; leaf scans alternate streamable in-leaf slot reads with
+// unstreamable record dereferences and leaf-to-leaf chases — the mixed
+// regime where a hybrid stream+LDS system has to split the work.
+func init() {
+	if err := workload.Register(workload.Generator{
+		Name:        "btree",
+		Server:      true,
+		Description: "B+-tree range scans: root-to-leaf descents, linked-leaf walks, per-record dereferences",
+		Build:       buildBTree,
+	}); err != nil {
+		panic(err)
+	}
+}
+
+const (
+	btPCRoot     = 0x9_0200 // global root-pointer load
+	btPCInnerKey = 0x9_0204 // inner-node separator key load
+	btPCChild    = 0x9_0208 // inner-node child-pointer chase
+	btPCLeafKey  = 0x9_020c // leaf slot key load
+	btPCRecPtr   = 0x9_0210 // leaf slot record-pointer load
+	btPCRecKey   = 0x9_0214 // record key load
+	btPCRecData  = 0x9_0218 // record payload load
+	btPCLeafNext = 0x9_021c // leaf chain chase
+	btPCStTouch  = 0x9_0220 // store: record access stamp
+)
+
+// Global word holding the root node pointer.
+const btGRoot = 0x0800_0200
+
+// Node geometry. Inner nodes: fanout children with their minimum keys;
+// leaves: leafSlots records plus a next-leaf pointer.
+const (
+	btFanout    = 8
+	btLeafSlots = 7
+)
+
+// inner layout (64 bytes): minkey[8]@0..28, child[8]@32..60.
+// leaf layout (64 bytes): key[7]@0..24, rec[7]@28..52, next@56, used@60.
+// record layout (32 bytes): key@0, stamp@4, payload@8..28.
+func buildBTree(p workload.Params) *trace.Trace {
+	nRecs := workload.ScaledData(1<<20, p) // ~1M indexed records at scale 1.0
+	nReqs := workload.Scaled(40_000, p)
+	maxScan := 32 // records per range scan, drawn uniformly from [1, maxScan]
+
+	nLeaves := (nRecs + btLeafSlots - 1) / btLeafSlots
+	// Inner levels, bottom-up, until a single root.
+	var levelSizes []int
+	for n := nLeaves; n > 1; n = (n + btFanout - 1) / btFanout {
+		levelSizes = append(levelSizes, (n+btFanout-1)/btFanout)
+	}
+	nInner := 0
+	for _, n := range levelSizes {
+		nInner += n
+	}
+
+	bd := newBuild("btree", p, heapBudget(
+		bytesOf(nRecs, 32), bytesOf(nLeaves, 64), bytesOf(nInner, 64)))
+	records := bd.shuffledAlloc(nRecs, 32)
+	leaves := bd.shuffledAlloc(nLeaves, 64)
+	m := bd.b.Mem()
+
+	// Records: key of record i is i+1 (dense, sorted across the leaf chain).
+	keyOf := func(i int) uint32 { return uint32(i) + 1 }
+	for i, r := range records {
+		m.Write32(r, keyOf(i))
+		m.Write32(r+8, uint32(i%251)) // payload
+	}
+	// Leaves: record i sits in leaf i/leafSlots, slot i%leafSlots.
+	for li, leaf := range leaves {
+		used := nRecs - li*btLeafSlots
+		if used > btLeafSlots {
+			used = btLeafSlots
+		}
+		for s := 0; s < used; s++ {
+			rec := li*btLeafSlots + s
+			m.Write32(workload.WordAddr(leaf, s), keyOf(rec))
+			m.Write32(workload.WordAddr(leaf, btLeafSlots+s), records[rec])
+		}
+		if li+1 < nLeaves {
+			m.Write32(leaf+56, leaves[li+1])
+		}
+		m.Write32(leaf+60, uint32(used))
+	}
+	// Inner levels bottom-up. children[] holds the lower level's node
+	// addresses; minKey[] the minimum key under each of them.
+	children := leaves
+	minKeys := make([]uint32, nLeaves)
+	for i := range minKeys {
+		minKeys[i] = keyOf(i * btLeafSlots)
+	}
+	for _, size := range levelSizes {
+		nodes := bd.shuffledAlloc(size, 64)
+		upKeys := make([]uint32, size)
+		for ni, node := range nodes {
+			lo := ni * btFanout
+			hi := lo + btFanout
+			if hi > len(children) {
+				hi = len(children)
+			}
+			for j := lo; j < hi; j++ {
+				m.Write32(workload.WordAddr(node, j-lo), minKeys[j])
+				m.Write32(workload.WordAddr(node, btFanout+j-lo), children[j])
+			}
+			upKeys[ni] = minKeys[lo]
+		}
+		children = nodes
+		minKeys = upKeys
+	}
+	m.Write32(btGRoot, children[0])
+	depth := len(levelSizes)
+
+	b := bd.b
+	for _, id := range bd.zipfIDs(nReqs, nRecs) {
+		key := keyOf(id)
+		scan := 1 + bd.rng.Intn(maxScan)
+		b.Compute(30) // request parse + plan
+
+		node, dep := b.Load(btPCRoot, btGRoot, trace.NoDep, false)
+		for lvl := 0; lvl < depth; lvl++ {
+			// Linear separator scan: advance while the next child's min key
+			// is still <= the search key.
+			j := 0
+			for j+1 < btFanout {
+				sep, _ := b.Load(btPCInnerKey, workload.WordAddr(node, j+1), dep, true)
+				if sep == 0 || sep > key {
+					break
+				}
+				j++
+			}
+			node, dep = b.Load(btPCChild, workload.WordAddr(node, btFanout+j), dep, true)
+		}
+		// Linked-leaf scan of the range window.
+		leafDep := dep
+		visited := 0
+		for rec := id; rec < nRecs && visited < scan; rec++ {
+			slot := rec % btLeafSlots
+			if visited > 0 && slot == 0 {
+				node, leafDep = b.Load(btPCLeafNext, node+56, leafDep, true)
+			}
+			b.Load(btPCLeafKey, workload.WordAddr(node, slot), leafDep, true)
+			r, rdep := b.Load(btPCRecPtr, workload.WordAddr(node, btLeafSlots+slot), leafDep, true)
+			b.Load(btPCRecKey, r, rdep, true)
+			b.Load(btPCRecData, r+8, rdep, true)
+			if visited == 0 {
+				b.Store(btPCStTouch, r+4, key, rdep) // access stamp
+			}
+			b.Compute(16) // per-record filtering/serialization
+			visited++
+		}
+	}
+	return b.Trace()
+}

@@ -1,0 +1,134 @@
+package serverload
+
+import (
+	"math/rand"
+
+	"ldsprefetch/internal/trace"
+	"ldsprefetch/internal/workload"
+)
+
+// graphserve models a graph-serving node (social graph / recommendation
+// fan-out): each request looks a vertex up through an index table, reads its
+// profile, walks its adjacency array, and dereferences neighbor vertices —
+// plus a deeper two-hop expansion through the first neighbors. Out-degrees
+// are power-law distributed and edge targets are Zipfian-popular, so a few
+// celebrity vertices stay cache-hot while the long tail misses; adjacency
+// arrays are sequential (stream-prefetchable) but every neighbor
+// dereference is a pointer chase into a scattered heap.
+func init() {
+	if err := workload.Register(workload.Generator{
+		Name:        "graphserve",
+		Server:      true,
+		Description: "graph serving with power-law fan-out: Zipfian vertex lookups, adjacency walks, 2-hop expansion",
+		Build:       buildGraphServe,
+	}); err != nil {
+		panic(err)
+	}
+}
+
+const (
+	gsPCIndex  = 0x9_0300 // vertex index-table probe
+	gsPCDeg    = 0x9_0304 // vertex degree load
+	gsPCAdj    = 0x9_0308 // vertex adjacency-base load
+	gsPCProf   = 0x9_030c // vertex profile load
+	gsPCEdge   = 0x9_0310 // adjacency-array slot load (sequential)
+	gsPCNbr    = 0x9_0314 // neighbor profile dereference
+	gsPCDeg2   = 0x9_0318 // second-hop degree load
+	gsPCAdj2   = 0x9_031c // second-hop adjacency-base load
+	gsPCEdge2  = 0x9_0320 // second-hop adjacency slot load
+	gsPCNbr2   = 0x9_0324 // second-hop neighbor dereference
+	gsPCStServ = 0x9_0328 // store: per-vertex serve counter
+)
+
+// Per-request expansion caps: at most hop1Cap first-hop neighbors are
+// dereferenced, the first hop2Fanout of them are expanded a second hop, and
+// each expansion reads at most hop2Cap of that neighbor's edges.
+const (
+	hop1Cap    = 16
+	hop2Fanout = 2
+	hop2Cap    = 4
+)
+
+// maxDegree caps the power-law out-degree (the "celebrity" ceiling).
+const maxDegree = 256
+
+// vertex layout (32 bytes): deg@0, adj@4, profile@8..24, serves@28.
+// adjacency arrays: deg words of neighbor vertex addresses.
+func buildGraphServe(p workload.Params) *trace.Trace {
+	nVerts := workload.ScaledData(1<<19, p) // ~0.5M vertices at scale 1.0
+	nReqs := workload.Scaled(60_000, p)
+
+	bd := newBuild("graphserve", p, heapBudget(
+		bytesOf(nVerts, 32),   // vertex objects
+		bytesOf(nVerts, 4),    // index table
+		bytesOf(nVerts*8, 4))) // adjacency words (mean degree bounded by ~8)
+	vindex := bd.alloc.Alloc(workload.SizeU32(nVerts, 4))
+	verts := bd.shuffledAlloc(nVerts, 32)
+	m := bd.b.Mem()
+
+	// Power-law out-degrees via a Zipf draw (many 1s, a heavy tail capped at
+	// maxDegree), with the global edge budget bounded so the heap holds.
+	zdeg := rand.NewZipf(bd.rng, 1.2, zipfV, uint64(maxDegree-1))
+	degs := make([]int, nVerts)
+	edgeBudget := nVerts * 7
+	for i := range degs {
+		d := 1 + int(zdeg.Uint64())
+		if d > edgeBudget-(nVerts-1-i) { // leave >=1 edge per remaining vertex
+			d = 1
+		}
+		degs[i] = d
+		edgeBudget -= d
+	}
+	// Edge targets are Zipfian-popular over a seeded permutation, so the
+	// celebrity set is scattered across the heap.
+	ztgt := rand.NewZipf(bd.rng, zipfS, zipfV, uint64(nVerts-1))
+	tgtPerm := bd.rng.Perm(nVerts)
+	// Adjacency arrays are allocated in a shuffled vertex order: a vertex's
+	// edges are contiguous (streamable) but neighbors' arrays are not.
+	for _, vi := range bd.rng.Perm(nVerts) {
+		v := verts[vi]
+		d := degs[vi]
+		adj := bd.alloc.Alloc(workload.SizeU32(d, 4))
+		for j := 0; j < d; j++ {
+			m.Write32(workload.WordAddr(adj, j), verts[tgtPerm[int(ztgt.Uint64())]])
+		}
+		m.Write32(v, uint32(d))
+		m.Write32(v+4, adj)
+		m.Write32(v+8, uint32(vi)+1) // profile word
+		m.Write32(workload.WordAddr(vindex, vi), v)
+	}
+
+	b := bd.b
+	// expand walks one vertex's adjacency: degree + adjacency-base loads,
+	// then up to limit sequential edge loads, dereferencing each neighbor.
+	var expand func(v uint32, vdep int32, limit int, pcDeg, pcAdj, pcEdge, pcNbr uint32, hop2 bool)
+	expand = func(v uint32, vdep int32, limit int, pcDeg, pcAdj, pcEdge, pcNbr uint32, hop2 bool) {
+		degWord, _ := b.Load(pcDeg, v, vdep, true)
+		adj, adep := b.Load(pcAdj, v+4, vdep, true)
+		d := int(degWord)
+		if d > limit {
+			d = limit
+		}
+		hops := 0
+		for j := 0; j < d; j++ {
+			// Sequential array read: dependent on the base only (streamable).
+			nb, edep := b.Load(pcEdge, workload.WordAddr(adj, j), adep, false)
+			b.Load(pcNbr, nb+8, edep, true) // neighbor profile (pointer chase)
+			b.Compute(12)
+			if hop2 && hops < hop2Fanout {
+				expand(nb, edep, hop2Cap, gsPCDeg2, gsPCAdj2, gsPCEdge2, gsPCNbr2, false)
+				hops++
+			}
+		}
+	}
+	for _, id := range bd.zipfIDs(nReqs, nVerts) {
+		b.Compute(20) // request parse
+		v, vdep := b.Load(gsPCIndex, workload.WordAddr(vindex, id), trace.NoDep, false)
+		b.Load(gsPCProf, v+8, vdep, true)
+		expand(v, vdep, hop1Cap, gsPCDeg, gsPCAdj, gsPCEdge, gsPCNbr, true)
+		serves, sdep := b.Load(gsPCStServ, v+28, vdep, true)
+		b.Store(gsPCStServ, v+28, serves+1, sdep)
+		b.Compute(30) // response assembly
+	}
+	return b.Trace()
+}

@@ -1,0 +1,142 @@
+package serverload
+
+import (
+	"ldsprefetch/internal/trace"
+	"ldsprefetch/internal/workload"
+)
+
+// kvstore models an in-memory key-value store under a Zipfian GET stream.
+// Keys hash into a bucket array; collisions chain through singly linked
+// entry lists; each entry points at a value object, and all values are
+// threaded on one global doubly linked LRU list that every GET splices to
+// the front. The chain walk and the LRU splice are classic pointer chases
+// (serialized, unstreamable), while the bucket-array probe is an indexed
+// access the stream prefetcher can false-train on — the same
+// beneficial/harmful pointer tension the paper's throttling arbitrates, at
+// server scale.
+func init() {
+	if err := workload.Register(workload.Generator{
+		Name:        "kvstore",
+		Server:      true,
+		Description: "Zipfian GET stream over hash-chain buckets with an LRU list threaded through values",
+		Build:       buildKVStore,
+	}); err != nil {
+		panic(err)
+	}
+}
+
+const (
+	kvPCBucket  = 0x9_0100 // bucket-array head probe
+	kvPCKey     = 0x9_0104 // entry key compare load
+	kvPCNext    = 0x9_0108 // entry chain chase
+	kvPCVal     = 0x9_010c // entry -> value pointer load
+	kvPCData    = 0x9_0110 // value payload load
+	kvPCData2   = 0x9_0114 // value payload load (second word)
+	kvPCPrev    = 0x9_0118 // value LRU-prev load
+	kvPCLNext   = 0x9_011c // value LRU-next load
+	kvPCHead    = 0x9_0120 // global LRU head load
+	kvPCStPrevN = 0x9_0130 // store: prev.next = next
+	kvPCStNextP = 0x9_0134 // store: next.prev = prev (or tail = prev)
+	kvPCStHeadP = 0x9_0138 // store: old head.prev = v
+	kvPCStVPrev = 0x9_013c // store: v.prev = 0
+	kvPCStVNext = 0x9_0140 // store: v.next = old head
+	kvPCStHead  = 0x9_0144 // store: head = v
+)
+
+// Global words holding the LRU list head and tail pointers.
+const (
+	kvGHead = 0x0800_0100
+	kvGTail = 0x0800_0104
+)
+
+// entry layout: key@0, next@4, val@8, pad (16 bytes).
+// value layout: lruPrev@0, lruNext@4, payload@8..28 (32 bytes).
+func buildKVStore(p workload.Params) *trace.Trace {
+	nKeys := workload.ScaledData(1<<20, p) // ~1M keys+values at scale 1.0
+	nBuckets := nKeys / 4
+	if nBuckets < 16 {
+		nBuckets = 16
+	}
+	nReqs := workload.Scaled(150_000, p)
+
+	bd := newBuild("kvstore", p, heapBudget(
+		bytesOf(nKeys, 16), bytesOf(nKeys, 32), bytesOf(nBuckets, 4)))
+	buckets := bd.alloc.Alloc(workload.SizeU32(nBuckets, 4))
+	entries := bd.shuffledAlloc(nKeys, 16)
+	values := bd.shuffledAlloc(nKeys, 32)
+	m := bd.b.Mem()
+
+	// Hash chains: key i lives in bucket hash(i); chains link in id order.
+	bucketOf := func(i int) int {
+		return int((uint64(i)*0x9E3779B1 + 0x85EBCA6B) % uint64(nBuckets))
+	}
+	chainTail := make([]uint32, nBuckets) // last entry per bucket, 0 = empty
+	for i, e := range entries {
+		m.Write32(e, uint32(i)+1) // key (small int: never aliases a pointer)
+		m.Write32(e+8, values[i]) // value pointer
+		h := bucketOf(i)
+		if chainTail[h] == 0 {
+			m.Write32(workload.WordAddr(buckets, h), e)
+		} else {
+			m.Write32(chainTail[h]+4, e) // predecessor's next
+		}
+		chainTail[h] = e
+	}
+
+	// LRU list: initial recency order is a seeded permutation of the values.
+	order := bd.rng.Perm(nKeys)
+	var prev uint32
+	for _, id := range order {
+		v := values[id]
+		m.Write32(v, prev) // lruPrev
+		if prev == 0 {
+			m.Write32(kvGHead, v)
+		} else {
+			m.Write32(prev+4, v) // predecessor's lruNext
+		}
+		m.Write32(v+8, uint32(id)+1)   // payload word 0: key id
+		m.Write32(v+12, uint32(id%97)) // payload word 1
+		prev = v
+	}
+	m.Write32(kvGTail, prev)
+
+	b := bd.b
+	for _, id := range bd.zipfIDs(nReqs, nKeys) {
+		key := uint32(id) + 1
+		b.Compute(24) // request parse + hash
+
+		// Bucket probe (indexed array access, not a pointer chase).
+		e, edep := b.Load(kvPCBucket, workload.WordAddr(buckets, bucketOf(id)), trace.NoDep, false)
+		// Chain walk comparing keys until the entry is found.
+		for {
+			k, _ := b.Load(kvPCKey, e, edep, true)
+			if k == key {
+				break
+			}
+			e, edep = b.Load(kvPCNext, e+4, edep, true)
+		}
+		v, vdep := b.Load(kvPCVal, e+8, edep, true)
+		b.Load(kvPCData, v+8, vdep, true)
+		b.Load(kvPCData2, v+12, vdep, true)
+		b.Compute(40) // response serialization
+
+		// LRU move-to-front (skipped when v is already the head).
+		lp, pdep := b.Load(kvPCPrev, v, vdep, true)
+		if lp == 0 {
+			continue
+		}
+		ln, ndep := b.Load(kvPCLNext, v+4, vdep, true)
+		b.Store(kvPCStPrevN, lp+4, ln, pdep) // prev.next = next
+		if ln != 0 {
+			b.Store(kvPCStNextP, ln, lp, ndep) // next.prev = prev
+		} else {
+			b.Store(kvPCStNextP, kvGTail, lp, pdep) // tail = prev
+		}
+		head, hdep := b.Load(kvPCHead, kvGHead, trace.NoDep, false)
+		b.Store(kvPCStHeadP, head, v, hdep) // old head.prev = v
+		b.Store(kvPCStVPrev, v, 0, vdep)    // v.prev = nil
+		b.Store(kvPCStVNext, v+4, head, hdep)
+		b.Store(kvPCStHead, kvGHead, v, vdep)
+	}
+	return b.Trace()
+}

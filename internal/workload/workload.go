@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
 	"ldsprefetch/internal/mem"
@@ -54,13 +55,24 @@ type Generator struct {
 	Name string
 	// PointerIntensive marks the 15 benchmarks of the main evaluation.
 	PointerIntensive bool
+	// Server marks the beyond-the-paper server-class families (and replayed
+	// trace captures): they are excluded from the paper's pointer-intensive
+	// and non-pointer-intensive benchmark lists so the reproduced figures
+	// keep their exact benchmark sets, and surface through ServerNames.
+	Server bool
 	// Description summarizes the modelled behaviour.
 	Description string
 	// Build generates the trace for the given input parameters.
 	Build func(p Params) *trace.Trace
 }
 
-var registry = map[string]Generator{}
+// registryMu guards registry: benchmarks register at init time, but trace
+// replays (FromTraceFile) register at runtime, potentially while schedulers
+// resolve names concurrently.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Generator{}
+)
 
 // paperOrder is the benchmark order of the paper's Tables 1 and 6, followed
 // by the non-pointer-intensive proxies.
@@ -71,13 +83,31 @@ var paperOrder = []string{
 }
 
 func register(g Generator) {
+	if err := Register(g); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Register adds a workload generator to the catalog. The in-package proxies
+// register at init time; external families (internal/workload/serverload)
+// and trace replays (FromTraceFile) use this seam. A nil Build or a
+// duplicate name is an error.
+func Register(g Generator) error {
+	if g.Name == "" || g.Build == nil {
+		return fmt.Errorf("workload: generator needs a name and a Build func")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	if _, dup := registry[g.Name]; dup {
-		panic("workload: duplicate benchmark " + g.Name)
+		return fmt.Errorf("workload: duplicate benchmark %q", g.Name)
 	}
 	registry[g.Name] = g
+	return nil
 }
 
 func ordered() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	out := make([]string, 0, len(registry))
 	inPaper := make(map[string]bool, len(paperOrder))
 	for _, n := range paperOrder {
@@ -100,11 +130,27 @@ func ordered() []string {
 	return out
 }
 
-// Get returns the generator for a benchmark name.
+// UnknownBenchmarkError reports a benchmark name that is not in the
+// catalog. The catalog is embedded so CLI and HTTP error payloads are
+// actionable as-is (mirroring registry.UnknownComponentError for spec
+// components).
+type UnknownBenchmarkError struct {
+	Name string
+}
+
+func (e *UnknownBenchmarkError) Error() string {
+	return fmt.Sprintf("workload: unknown benchmark %q (known benchmarks: %s)",
+		e.Name, strings.Join(Names(), ", "))
+}
+
+// Get returns the generator for a benchmark name. The error is a
+// *UnknownBenchmarkError carrying the full catalog.
 func Get(name string) (Generator, error) {
+	registryMu.RLock()
 	g, ok := registry[name]
+	registryMu.RUnlock()
 	if !ok {
-		return Generator{}, fmt.Errorf("workload: unknown benchmark %q", name)
+		return Generator{}, &UnknownBenchmarkError{Name: name}
 	}
 	return g, nil
 }
@@ -112,12 +158,25 @@ func Get(name string) (Generator, error) {
 // Names returns all benchmark names in paper table order.
 func Names() []string { return ordered() }
 
+// PaperNames returns the paper's benchmark suite in paper order, excluding
+// server-class families (which registered packages may or may not link in).
+func PaperNames() []string {
+	var out []string
+	for _, n := range ordered() {
+		if g, _ := Get(n); !g.Server {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // PointerIntensiveNames returns the paper's 15 pointer-intensive benchmarks
-// in the order of paper Table 1/6.
+// in the order of paper Table 1/6. Server-class families are excluded: the
+// paper's figures are defined over its exact benchmark set.
 func PointerIntensiveNames() []string {
 	var out []string
 	for _, n := range ordered() {
-		if registry[n].PointerIntensive {
+		if g, _ := Get(n); g.PointerIntensive && !g.Server {
 			out = append(out, n)
 		}
 	}
@@ -128,7 +187,19 @@ func PointerIntensiveNames() []string {
 func NonPointerIntensiveNames() []string {
 	var out []string
 	for _, n := range ordered() {
-		if !registry[n].PointerIntensive {
+		if g, _ := Get(n); !g.PointerIntensive && !g.Server {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ServerNames returns the registered server-class workload families (and any
+// replayed trace captures), sorted by name.
+func ServerNames() []string {
+	var out []string
+	for _, n := range ordered() {
+		if g, _ := Get(n); g.Server {
 			out = append(out, n)
 		}
 	}
@@ -288,6 +359,29 @@ func elemAddr(base uint32, i int, elem uint32) uint32 {
 // wordAddr returns the address of the i'th 4-byte word at base; the common
 // case of elemAddr for the proxies' word-grained tables.
 func wordAddr(base uint32, i int) uint32 { return elemAddr(base, i, 4) }
+
+// The exported forms of the scaling and checked 32-bit address-math helpers
+// are the seam external workload families (internal/workload/serverload)
+// build on: the ldslint checkedmath analyzer polices those packages too, and
+// these helpers are the sanctioned replacements for raw uint32 arithmetic.
+
+// Scaled applies the input scale linearly with a floor of 1 (see scaled).
+func Scaled(n int, p Params) int { return scaled(n, p) }
+
+// ScaledData applies sub-linear (square-root) data scaling (see scaledData).
+func ScaledData(n int, p Params) int { return scaledData(n, p) }
+
+// SizeU32 converts count×elem into a checked uint32 allocation size.
+func SizeU32(n int, elem uint32) uint32 { return sizeU32(n, elem) }
+
+// AddU32 adds two 32-bit addresses/offsets with a wrap check.
+func AddU32(a, b uint32) uint32 { return addU32(a, b) }
+
+// ElemAddr returns the checked address of element i of an elem-byte array.
+func ElemAddr(base uint32, i int, elem uint32) uint32 { return elemAddr(base, i, elem) }
+
+// WordAddr returns the checked address of the i'th 4-byte word at base.
+func WordAddr(base uint32, i int) uint32 { return wordAddr(base, i) }
 
 // shuffledAlloc allocates n objects of the given size, returning their
 // addresses indexed by logical id, in an order that mimics a real heap:

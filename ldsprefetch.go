@@ -95,8 +95,13 @@ func Proposal(hints *HintTable) Setup {
 		Hints: hints, Throttle: true}
 }
 
-// Benchmarks lists all available benchmark proxies in paper order.
-func Benchmarks() []string { return workload.Names() }
+// Benchmarks lists the paper's benchmark proxies in paper order.
+func Benchmarks() []string { return workload.PaperNames() }
+
+// ServerBenchmarks lists the beyond-the-paper server-class workload
+// families (EXPERIMENTS.md "beyond the paper" chapter); they run through
+// Run/RunMulti/ProfileHints like any benchmark.
+func ServerBenchmarks() []string { return workload.ServerNames() }
 
 // PointerIntensiveBenchmarks lists the paper's 15-benchmark main suite.
 func PointerIntensiveBenchmarks() []string { return workload.PointerIntensiveNames() }

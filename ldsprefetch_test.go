@@ -126,6 +126,9 @@ func TestPublicAPI(t *testing.T) {
 	if len(PointerIntensiveBenchmarks()) != 15 {
 		t.Fatalf("pointer-intensive = %d", len(PointerIntensiveBenchmarks()))
 	}
+	if len(ServerBenchmarks()) != 3 {
+		t.Fatalf("server families = %d", len(ServerBenchmarks()))
+	}
 	if _, err := Run("nosuch", testInput(), Baseline()); err == nil {
 		t.Fatal("expected error")
 	}
