@@ -1,5 +1,5 @@
 // Command ldsbench runs the repository's benchmark set through
-// testing.Benchmark and emits a versioned JSON artifact (BENCH_PR5.json by
+// testing.Benchmark and emits a versioned JSON artifact (BENCH_PR8.json by
 // default) recording ns/op, B/op, allocs/op, and simulated-accesses/sec per
 // benchmark, plus the metadata needed to compare runs over time (schema
 // version, workload scale, Go version). CI runs the short set on every push
@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	ldsbench                      # short set -> BENCH_PR5.json
+//	ldsbench                      # short set -> BENCH_PR8.json
 //	ldsbench -set full -out -     # every paper artifact, JSON to stdout
 package main
 
@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	lds "ldsprefetch"
+	"ldsprefetch/internal/sim"
 )
 
 // schemaVersion identifies the artifact layout. Bump on breaking changes.
@@ -75,8 +76,13 @@ type artifact struct {
 	// seed).
 	BaselinePR3 []baselineRow `json:"baseline_pr3"`
 	// BaselinePR4 holds the PR 4 tree's measurements (identical scale and
-	// seed), the immediate reference point for this PR's trajectory.
+	// seed).
 	BaselinePR4 []baselineRow `json:"baseline_pr4"`
+	// BaselinePR5 holds the PR 5 tree's measurements (identical scale and
+	// seed), the immediate reference point for this PR's trajectory. The
+	// mix4_* rows have no PR 5 counterpart: multi-core mixes first became a
+	// benchmarked surface with the epoch-barrier engine.
+	BaselinePR5 []baselineRow `json:"baseline_pr5"`
 }
 
 // baselinePR2 are the PR 2 measurements at scale 0.15, seed 1.
@@ -104,6 +110,16 @@ var baselinePR4 = []baselineRow{
 	{Name: "sim_proposal", NsPerOp: 80969303, BytesPerOp: 8991681, AllocsPerOp: 141},
 	{Name: "profile_pass", NsPerOp: 57455079, BytesPerOp: 5489137, AllocsPerOp: 77},
 	{Name: "fig1", NsPerOp: 3284261086, BytesPerOp: 1254735928, AllocsPerOp: 54285},
+}
+
+// baselinePR5 are the PR 5 measurements at scale 0.15, seed 1 (the short
+// set, from BENCH_PR5.json).
+var baselinePR5 = []baselineRow{
+	{Name: "sim_baseline", NsPerOp: 39808354, BytesPerOp: 5509969, AllocsPerOp: 64},
+	{Name: "sim_cdp", NsPerOp: 57401230, BytesPerOp: 5510320, AllocsPerOp: 70},
+	{Name: "sim_proposal", NsPerOp: 71906528, BytesPerOp: 8992025, AllocsPerOp: 152},
+	{Name: "profile_pass", NsPerOp: 55651405, BytesPerOp: 5489137, AllocsPerOp: 77},
+	{Name: "fig1", NsPerOp: 2999402562, BytesPerOp: 1254785968, AllocsPerOp: 55733},
 }
 
 func experimentBench(id string) func(b *testing.B, in lds.Input) {
@@ -145,6 +161,47 @@ func simBench(bench string, setup func() lds.Setup) benchmark {
 	}
 }
 
+// mixBench measures a 4-core multi-core mix end to end under one execution
+// engine (sim.EngineSerial or sim.EngineParallel). The serial/parallel pair
+// shares a workload, a spec, and — by the engine's determinism guarantee —
+// a result, so the ns/op ratio is a pure measurement of the epoch-barrier
+// parallelism (on a multi-core host; on a single-CPU host the pair instead
+// bounds the goroutine/barrier overhead).
+func mixBench(engine string) benchmark {
+	benches := []string{"mcf", "xalancbmk", "omnetpp", "health"}
+	spec := func() sim.Spec {
+		sp := sim.NewSpec("stream+cdp+thr", "stream", "cdp", "throttle")
+		sp.Engine = engine
+		return sp
+	}
+	run := func(in lds.Input) (sim.MultiResult, error) {
+		return sim.RunSharedSpec(benches, in, spec())
+	}
+	return benchmark{
+		name:  "mix4_" + engine,
+		short: true,
+		run: func(b *testing.B, in lds.Input) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		accesses: func(in lds.Input) int64 {
+			res, err := run(in)
+			if err != nil {
+				return 0
+			}
+			var acc int64
+			for _, r := range res.PerCore {
+				acc += r.Mem.Accesses
+			}
+			return acc
+		},
+	}
+}
+
 func benchmarks() []benchmark {
 	var out []benchmark
 
@@ -176,6 +233,8 @@ func benchmarks() []benchmark {
 		},
 	})
 
+	out = append(out, mixBench(sim.EngineSerial), mixBench(sim.EngineParallel))
+
 	// Paper artifacts. fig1 is in the short set: it is the headline artifact
 	// and the alloc-trajectory acceptance gate.
 	shortExps := map[string]bool{"fig1": true}
@@ -188,7 +247,7 @@ func benchmarks() []benchmark {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output path (- for stdout)")
+	out := flag.String("out", "BENCH_PR8.json", "output path (- for stdout)")
 	set := flag.String("set", "short", "benchmark set: short (CI) or full (every artifact)")
 	scale := flag.Float64("scale", lds.BenchScale, "workload input scale")
 	seed := flag.Int64("seed", 1, "workload input seed")
@@ -211,6 +270,7 @@ func main() {
 		BaselinePR2:   baselinePR2,
 		BaselinePR3:   baselinePR3,
 		BaselinePR4:   baselinePR4,
+		BaselinePR5:   baselinePR5,
 	}
 	for _, bm := range benchmarks() {
 		if *set == "short" && !bm.short {

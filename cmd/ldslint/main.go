@@ -27,7 +27,7 @@ import (
 
 // version participates in cmd/go's action cache key for vet results; bump it
 // when analyzer behavior changes so cached "clean" verdicts are invalidated.
-const version = "1.0.0"
+const version = "1.1.0"
 
 func main() {
 	// cmd/go probes the tool identity with -V=full before anything else; the

@@ -6,6 +6,7 @@
 //	ldssim -bench mst -config ecdp+throttle
 //	ldssim -bench health -config stream -scale 0.5
 //	ldssim -bench xalancbmk,astar -config ecdp+throttle   # dual-core
+//	ldssim -bench mcf,mst,em3d,health -engine parallel     # parallel engine
 //	ldssim -bench mst -spec spec.json                     # declarative spec
 //	ldssim -bench mst -spec '{"name":"x","components":[{"kind":"stream"}]}'
 //	ldssim -bench mst -trace /tmp/t                       # + JSONL telemetry
@@ -30,6 +31,12 @@
 // interval-series and throttle-event JSONL files (schemas: OBSERVABILITY.md)
 // plus a reproducibility manifest; -out <dir> persists the printed summary
 // and a manifest.
+//
+// -engine selects the multi-core execution engine: serial (the default)
+// steps cores sequentially; parallel runs each epoch's cores on separate
+// goroutines. Reports are byte-identical either way (the engine's
+// determinism guarantee — see DESIGN.md), so the knob is purely about
+// wall-clock time and is ignored for single-benchmark runs.
 //
 // -replay <file> runs a trace capture (ldstrace capture, format:
 // TRACEFORMAT.md) instead of generating a workload; the capture's
@@ -82,6 +89,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	listConfigs := flag.Bool("list-configs", false, "list named configurations and registered components, then exit")
+	engine := flag.String("engine", "", "multi-core execution engine: serial (default) or parallel; reports are byte-identical")
 	replay := flag.String("replay", "", "trace capture file to replay as the benchmark (overrides -bench)")
 	traceDir := flag.String("trace", "", "directory for interval/event JSONL traces (+ manifest)")
 	outDir := flag.String("out", "", "directory to persist the run summary (+ manifest)")
@@ -154,6 +162,10 @@ func main() {
 		}
 	}
 	setup.Trace = *traceDir != ""
+	setup.Engine = *engine
+	if err := setup.Validate(); err != nil {
+		fatal(fmt.Sprintf("ldssim: %v (run 'ldssim -h' for usage)", err))
+	}
 
 	// Manifests record the named configuration, or the spec name for -spec
 	// runs (the spec itself is what reproduces the run, not the label).

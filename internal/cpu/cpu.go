@@ -99,12 +99,27 @@ func (c *Core) Now() int64 { return c.lastIssue }
 
 // Step replays up to n ops and returns the number replayed.
 func (c *Core) Step(n int) int {
+	return c.step(n, 1<<62)
+}
+
+// StepUntil replays ops until the core's issue clock reaches horizon (or the
+// trace ends) and returns the number replayed. The horizon is checked before
+// each op, so a core whose clock is already past it replays nothing, while a
+// core behind it always makes progress — the epoch-barrier engine relies on
+// both properties. The clock may overshoot the horizon by the last op's
+// issue-stall; the engine's barrier ordering does not depend on where within
+// an epoch a request was issued.
+func (c *Core) StepUntil(horizon int64) int {
+	return c.step(len(c.tr.Ops), horizon)
+}
+
+func (c *Core) step(n int, horizon int64) int {
 	ops := c.tr.Ops
 	width := int64(c.cfg.Width)
 	window := int64(c.cfg.Window)
 	ring := len(c.retireRing)
 	done := 0
-	for done < n && c.pos < len(ops) {
+	for done < n && c.pos < len(ops) && c.lastIssue < horizon {
 		i := c.pos
 		op := &ops[i]
 		instr := op.Instructions()

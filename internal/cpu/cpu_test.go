@@ -131,6 +131,76 @@ func TestStepIncremental(t *testing.T) {
 	}
 }
 
+// TestStepUntilMatchesRun pins the epoch-sliced stepping the barrier engine
+// uses: replaying a trace in bounded-horizon slices must reproduce the
+// monolithic run exactly (same cycles, same retired count, same memory-side
+// statistics), for horizon strides both smaller and larger than the memory
+// latency.
+func TestStepUntilMatchesRun(t *testing.T) {
+	build := func() *trace.Trace {
+		m := mem.New()
+		nodes := make([]uint32, 300)
+		for i := range nodes {
+			nodes[i] = mem.HeapBase + uint32(i)*131072 + uint32(i%8)*64
+		}
+		for i := 0; i < len(nodes)-1; i++ {
+			m.Write32(nodes[i], nodes[i+1])
+		}
+		b := trace.NewBuilder("mix", m, 0)
+		ptr, dep := b.Load(1, nodes[0], trace.NoDep, false)
+		for i := 1; i < len(nodes); i++ {
+			b.Compute(3)
+			ptr, dep = b.Load(1, ptr, dep, true)
+			b.Store(1, nodes[i]+32, uint32(i), trace.NoDep)
+		}
+		return b.Trace()
+	}
+	msA := newMS()
+	ref := NewCore(DefaultConfig(), msA, build())
+	for !ref.Done() {
+		ref.Step(1 << 20)
+	}
+	for _, stride := range []int64{64, 4096, 1 << 40} {
+		ms := newMS()
+		c := NewCore(DefaultConfig(), ms, build())
+		for !c.Done() {
+			before := c.Now()
+			c.StepUntil(before + stride)
+			if !c.Done() && c.Now() <= before-1 {
+				t.Fatalf("stride %d: clock went backwards", stride)
+			}
+		}
+		if c.Result() != ref.Result() {
+			t.Fatalf("stride %d: result %+v, monolithic run %+v", stride, c.Result(), ref.Result())
+		}
+		if ms.Stats() != msA.Stats() {
+			t.Fatalf("stride %d: memory stats diverged:\n%+v\n%+v", stride, ms.Stats(), msA.Stats())
+		}
+	}
+}
+
+// TestStepUntilPastHorizonIsNoop pins the engine's skip property: a core
+// whose clock has reached the horizon replays nothing.
+func TestStepUntilPastHorizonIsNoop(t *testing.T) {
+	m := mem.New()
+	b := trace.NewBuilder("h", m, 0)
+	for i := 0; i < 8; i++ {
+		b.Load(1, mem.HeapBase+uint32(i)*131072, trace.NoDep, false)
+	}
+	c := NewCore(DefaultConfig(), newMS(), b.Trace())
+	c.StepUntil(1) // clock starts at 0 < 1: replays until issue clock ≥ 1
+	at := c.Now()
+	if n := c.StepUntil(at); n != 0 {
+		t.Fatalf("StepUntil(Now()) replayed %d ops, want 0", n)
+	}
+	if n := c.StepUntil(at - 1); n != 0 {
+		t.Fatalf("StepUntil(past) replayed %d ops, want 0", n)
+	}
+	if n := c.StepUntil(at + 1); n == 0 {
+		t.Fatal("StepUntil(future) made no progress")
+	}
+}
+
 func TestIPCZeroCycles(t *testing.T) {
 	if (Result{}).IPC() != 0 {
 		t.Fatal("IPC of empty result must be 0")

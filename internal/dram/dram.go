@@ -78,6 +78,21 @@ type Controller struct {
 	busFreeDem  int64       // demand-priority view of the bus
 	pending     heap64.Heap // completion times of outstanding requests
 
+	// Request logging for the epoch-barrier engine (see epoch.go): when
+	// logging, every Access/Writeback is recorded with its original
+	// arguments for a later replay onto the master controller.
+	logging bool
+	log     []Request
+
+	// Echoed cross-traffic (see epoch.go): other cores' previous-epoch
+	// request logs, drained into the busy-until state lazily, in arrival
+	// order interleaved with this controller's real requests, echoLook
+	// cycles ahead of them.
+	echo      [][]Request
+	echoPos   []int
+	echoShift int64
+	echoLook  int64
+
 	// Transfers counts data-block bus transfers (fills and writebacks);
 	// this is the BPKI numerator.
 	Transfers int64
@@ -126,7 +141,24 @@ func (c *Controller) admit(t int64) int64 {
 // ride the full FIFO and interfere with demands only through bank occupancy,
 // the request buffer, and a bounded non-preemption penalty.
 func (c *Controller) Access(addr uint32, t int64, demand bool) int64 {
-	t = c.admit(t)
+	if c.logging {
+		c.log = append(c.log, Request{Addr: addr, At: t, Demand: demand})
+	}
+	c.drainEcho(t)
+	return c.access(addr, t, demand, true)
+}
+
+// access is Access without logging. real=false is echo mode: the request
+// ratchets the bank and bus busy-until horizons (the collision channels) but
+// neither occupies the request buffer — the master's copied pending heap
+// already carries the other cores' real in-flight tail, and double-counting
+// it would wedge Congested — nor touches the transfer/stall counters (echoed
+// cross-traffic is counted once, on the master, where the real request
+// replays).
+func (c *Controller) access(addr uint32, t int64, demand, real bool) int64 {
+	if real {
+		t = c.admit(t)
+	}
 	start := t + c.cfg.CtrlCycles
 	b := c.bank(addr)
 
@@ -156,10 +188,12 @@ func (c *Controller) Access(addr uint32, t int64, demand bool) int64 {
 	}
 
 	done := busDone + c.cfg.FillCycles
-	c.pending.Push(done)
-	c.Transfers++
-	if demand {
-		c.DemandTransfers++
+	if real {
+		c.pending.Push(done)
+		c.Transfers++
+		if demand {
+			c.DemandTransfers++
+		}
 	}
 	return done
 }
@@ -181,12 +215,24 @@ func nonPreempt(fullFree, start, occupancy int64) int64 {
 // Writeback models a dirty-block eviction: it occupies the bus (low
 // priority) and a bank, and counts as a transfer, but nothing waits for it.
 func (c *Controller) Writeback(addr uint32, t int64) {
+	if c.logging {
+		c.log = append(c.log, Request{Addr: addr, At: t, Writeback: true})
+	}
+	c.drainEcho(t)
+	c.writeback(addr, t, true)
+}
+
+// writeback is Writeback without logging; real=false is echo mode and
+// suppresses the transfer counter (see access).
+func (c *Controller) writeback(addr uint32, t int64, real bool) {
 	start := t + c.cfg.CtrlCycles
 	busStart := max64(start, c.busFree)
 	c.busFree = busStart + c.cfg.BusCycles
 	b := c.bank(addr)
 	c.bankFree[b] = max64(c.bankFree[b], busStart+c.cfg.BusCycles) + c.cfg.BankCycles
-	c.Transfers++
+	if real {
+		c.Transfers++
+	}
 }
 
 // Outstanding returns the number of in-flight requests as of the last call.
@@ -203,6 +249,7 @@ func (c *Controller) OutstandingAt(t int64) int {
 // cycle t. Prefetchers drop requests under congestion (demand requests wait
 // instead).
 func (c *Controller) Congested(t int64, limit int) bool {
+	c.drainEcho(t)
 	c.pending.PopLE(t)
 	return limit > 0 && len(c.pending) >= limit
 }
@@ -212,6 +259,7 @@ func (c *Controller) Congested(t int64, limit int) bool {
 // bounded memory-side queue cannot hold more than a few transfers of such
 // work; prefetchers drop requests when this backlog is deep.
 func (c *Controller) PrefetchBacklog(t int64) int64 {
+	c.drainEcho(t)
 	ref := c.busFreeDem
 	if t > ref {
 		ref = t

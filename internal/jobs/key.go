@@ -39,7 +39,14 @@ import (
 //	    component list with per-factory versions. Simulated results are
 //	    unchanged; only the key derivation moved, so version 1 objects are
 //	    unreachable (stale but harmless — prune old store directories).
-const SchemaVersion = 2
+//	3 — simulator behaviour changed: multi-core mixes run under the
+//	    epoch-barrier engine (internal/sim/engine — cross-core contention
+//	    is resolved through barrier-merged replay plus a bounded-lookahead
+//	    echo of the other cores' previous epoch), and two memsys accounting
+//	    bugs were fixed (pollution eviction-ring refcounting; fair-share
+//	    token bucket uses the real core count). Cached v2 results are
+//	    stale.
+const SchemaVersion = 3
 
 // Key identifies one job's full input. Equal inputs hash equal; any change
 // to the spec, the workload parameters, the benchmark set, the machine

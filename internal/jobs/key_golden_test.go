@@ -9,7 +9,7 @@ import (
 )
 
 // TestGoldenKeys pins the exact SHA-256 cache keys of representative jobs
-// under SchemaVersion 2. These hashes are the store's addressing scheme: if
+// under SchemaVersion 3. These hashes are the store's addressing scheme: if
 // this test fails, previously cached results are unreachable (or, worse,
 // reachable under a key that no longer means what it did). An intentional
 // change — a component Version bump, a canonical-encoding change — must come
@@ -28,13 +28,13 @@ func TestGoldenKeys(t *testing.T) {
 		want string
 	}{
 		{"single/stream", func() (Key, error) { return SingleSpecKey("mst", p, stream) },
-			"1aa09612cf8deba80873ebd4cf128adcc9272431cf860b365419e4b1a51db17f"},
+			"c63514845729850065a10630c11c9e41c775d38471698e3bb3b148adc742a564"},
 		{"single/ecdp+thr", func() (Key, error) { return SingleSpecKey("mst", p, ecdpt) },
-			"6c0afc22c6352b872ecd5c8c6ec363ed062353e66c6ca6574f09c9f7604dbe2e"},
+			"bb4453e0c1e3217eaed93bae379f1815b742001d99e0c12e045004116eaed086"},
 		{"shared/ecdp+thr", func() (Key, error) { return SharedSpecKey([]string{"mst", "health"}, p, ecdpt) },
-			"17dc522bfec0a39dbb2bd33e7e5be347cbc151fce62b53022a9af6a31e5ed542"},
+			"ad68a338601fd6d367e67c3d12491992b1b80deb8da7fce5f4475f85430cbdda"},
 		{"alone/ecdp+thr/2", func() (Key, error) { return AloneSpecKey("mst", p, ecdpt, 2) },
-			"75b9503803e8d7ca9267fe754878ae7fa3598e76c4e30c7e8389c316f9e8dc9c"},
+			"ff536a062d5a076554cfabce23666d542f29b3b1fb6ebb52486bacea45cfee25"},
 	}
 	for _, g := range golden {
 		k, err := g.key()

@@ -183,6 +183,7 @@ func suffixScope(suffixes ...string) func(string) bool {
 var simCorePackages = []string{
 	"internal/sim",
 	"internal/sim/registry",
+	"internal/sim/engine",
 	"internal/memsys",
 	"internal/dram",
 	"internal/cpu",

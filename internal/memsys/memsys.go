@@ -78,6 +78,15 @@ type Config struct {
 	// IntervalLen is the feedback interval in L2 evictions (paper: 8192).
 	IntervalLen int
 
+	// Cores is the number of cores sharing the DRAM controller; it sizes
+	// the fair-share prefetch token bucket (each core gets 1/Cores of the
+	// bus rate, see Issue). The zero value tells New to infer it from the
+	// controller's request-buffer size (RequestBuffer/32, the historical
+	// heuristic — exact for DefaultConfig-derived controllers, wrong for
+	// custom request-buffer sizes, which is why callers that know the real
+	// count set it). Config() always reports the resolved value.
+	Cores int
+
 	// IdealLDS converts L2 misses of LDS-tagged loads into hits (the
 	// oracle of Figure 1, bottom).
 	IdealLDS bool
@@ -285,6 +294,15 @@ func ResolvePrefetchCongestionLimit(limit, requestBuffer int) int {
 func New(cfg Config, mm *mem.Memory, ctrl *dram.Controller) *MemSys {
 	cfg.PrefetchCongestionLimit = ResolvePrefetchCongestionLimit(
 		cfg.PrefetchCongestionLimit, ctrl.Config().RequestBuffer)
+	if cfg.Cores < 1 {
+		// Legacy inference: DefaultConfig controllers size the request
+		// buffer at 32 per core. Exact for those; callers with custom
+		// request buffers must pass the real count.
+		cfg.Cores = ctrl.Config().RequestBuffer / 32
+		if cfg.Cores < 1 {
+			cfg.Cores = 1
+		}
+	}
 	ms := &MemSys{
 		cfg:       cfg,
 		mm:        mm,
@@ -333,15 +351,21 @@ func (ms *MemSys) notifyFill(ev FillEvent) {
 	}
 }
 
-// recordEvictedBy remembers that blk was displaced by a fill from src.
+// recordEvictedBy remembers that blk was displaced by a fill from src. The
+// ring and the table are kept in sync by reference counting: a block evicted
+// twice within the ring window occupies two ring slots and one table entry
+// with count 2, so recycling the older slot (release) cannot drop the
+// attribution the newer slot still covers. Plain put/del here would desync
+// the two — put collapses duplicates to one entry, and the older slot's del
+// then removes the entry the newer slot still points at.
 func (ms *MemSys) recordEvictedBy(blk uint32, src prefetch.Source) {
 	old := ms.evictRing[ms.evictPos]
 	if old != 0 {
-		ms.evictedBy.del(old)
+		ms.evictedBy.release(old)
 	}
 	ms.evictRing[ms.evictPos] = blk
 	ms.evictPos = (ms.evictPos + 1) % len(ms.evictRing)
-	ms.evictedBy.put(blk, src)
+	ms.evictedBy.ref(blk, src)
 }
 
 // handleVictim performs eviction bookkeeping for a displaced L2 line:
@@ -491,9 +515,13 @@ func (ms *MemSys) Access(addr, pc uint32, isLoad, lds bool, now int64) int64 {
 	// True L2 demand miss.
 	ms.stats.L2DemandMisses++
 	ms.fb.DemandMisses.Inc()
-	if src, ok := ms.evictedBy.get(blk); ok {
+	if src, ok := ms.evictedBy.get(blk); ok && src.IsPrefetch() {
 		ms.fb.Sources[src].Pollution.Inc()
-		ms.evictedBy.del(blk)
+		// Mark consumed in place rather than deleting: the ring slots still
+		// reference the entry, and each will release its reference as it is
+		// recycled. A SrcDemand value means "already attributed" — further
+		// misses to the block must not re-count until it is displaced again.
+		ms.evictedBy.consume(blk, prefetch.SrcDemand)
 	}
 
 	if ms.cfg.IdealLDS && lds && isLoad {
@@ -608,12 +636,11 @@ func (ms *MemSys) Issue(r prefetch.Request) {
 		ms.stats.PrefDropQueue++
 		return
 	}
-	// Fair-share token bucket (burst = 32 requests).
-	cores := ms.ctrl.Config().RequestBuffer / 32
-	if cores < 1 {
-		cores = 1
-	}
-	refill := float64(ms.ctrl.Config().BusCycles) * float64(cores)
+	// Fair-share token bucket (burst = 32 requests): each core refills at
+	// 1/Cores of the bus rate. Cores is resolved at construction — the
+	// real machine width when the caller supplied it, the legacy
+	// request-buffer inference otherwise.
+	refill := float64(ms.ctrl.Config().BusCycles) * float64(ms.cfg.Cores)
 	if dt := r.When - ms.pfTokenTime; dt > 0 {
 		ms.pfTokens += float64(dt) / refill
 		if ms.pfTokens > 32 {

@@ -447,6 +447,95 @@ func TestResolvePrefetchCongestionLimit(t *testing.T) {
 	}
 }
 
+// TestPollutionSurvivesDoubleEviction is the regression test for the
+// eviction-ring/srcMap desync: a block prefetch-evicted twice within the
+// 4096-entry window holds two ring slots but (pre-fix) only one table entry,
+// so recycling the OLDER slot deleted the entry the newer slot still covered
+// and the later demand miss lost its pollution attribution.
+func TestPollutionSurvivesDoubleEviction(t *testing.T) {
+	ms := newMS(t, nil)
+	const blk = uint32(0x3000_0000)
+	// The same block is prefetch-evicted twice: two ring slots, one entry.
+	ms.recordEvictedBy(blk, prefetch.SrcCDP)
+	ms.recordEvictedBy(blk, prefetch.SrcCDP)
+	// 4095 distinct later evictions recycle exactly the first of those slots
+	// (ring size 4096: positions 2..4095, then position 0 again).
+	for i := uint32(0); i < 4095; i++ {
+		ms.recordEvictedBy(0x4000_0040+i*64, prefetch.SrcStream)
+	}
+	// The newer ring slot is still live, so the demand miss must still
+	// attribute pollution to the displacing prefetcher.
+	ms.Access(blk, 1, true, false, 0)
+	if got := ms.Feedback().Sources[prefetch.SrcCDP].Pollution.Raw(); got != 1 {
+		t.Fatalf("pollution = %v, want 1 (attribution dropped by ring/srcMap desync)", got)
+	}
+	// The attribution is consumed in place (not deleted): the ring slot still
+	// references the entry, and re-counting is blocked until re-displacement.
+	if src, ok := ms.evictedBy.get(blk); !ok || src != prefetch.SrcDemand {
+		t.Fatalf("post-attribution entry = %v,%v, want consumed (SrcDemand) entry", src, ok)
+	}
+	// Recycling the last ring slot that references the block removes the
+	// entry — the ring and the table stay in sync.
+	ms.recordEvictedBy(0x5000_0040, prefetch.SrcStream)
+	if _, ok := ms.evictedBy.get(blk); ok {
+		t.Fatal("entry must be deleted when its last ring reference is recycled")
+	}
+}
+
+// TestFairShareUsesConfiguredCores is the regression test for the fair-share
+// token bucket inferring the core count from the request-buffer size
+// (RequestBuffer/32): for a custom buffer the inferred width is wrong, and a
+// single core sharing nothing was refilled at a quarter of its bus share.
+// Config.Cores now carries the real width; the zero value keeps the legacy
+// inference so default-config behavior is unchanged.
+func TestFairShareUsesConfiguredCores(t *testing.T) {
+	run := func(cores int) (issued int64, dropped int64) {
+		dcfg := dram.DefaultConfig(1)
+		dcfg.RequestBuffer = 128 // custom buffer: legacy inference says 4 cores
+		cfg := DefaultConfig()
+		cfg.Cores = cores
+		ms := New(cfg, mem.New(), dram.NewController(dcfg))
+		// Keep the demand clock ahead so the recursion-horizon gate admits
+		// every request; this test isolates the token bucket.
+		ms.lastDemand = 1 << 40
+		for i := int64(0); i < 200; i++ {
+			// Paced at 2 bus occupancies per request: a full bus share
+			// refills 2 tokens per request, a quarter share only 0.5.
+			ms.Issue(prefetch.Request{
+				When: i * 2 * dcfg.BusCycles,
+				Addr: uint32(0x4000_0040) + uint32(i)*64,
+				Src:  prefetch.SrcStream,
+			})
+		}
+		return int64(ms.Feedback().Sources[prefetch.SrcStream].Issued.Raw()),
+			ms.Stats().PrefDropQueue
+	}
+	if issued, dropped := run(1); dropped != 0 || issued != 200 {
+		t.Fatalf("1 core at half the bus rate: issued %d, dropped %d; the bucket must not throttle (pre-fix it inferred 4 cores)",
+			issued, dropped)
+	}
+	if _, dropped := run(0); dropped == 0 {
+		t.Fatal("legacy inference (Cores=0, RequestBuffer=128) must still pace as 4 cores")
+	}
+}
+
+// TestConfigCoresResolution pins how New resolves Config.Cores.
+func TestConfigCoresResolution(t *testing.T) {
+	if got := New(DefaultConfig(), mem.New(), dram.NewController(dram.DefaultConfig(4))).Config().Cores; got != 4 {
+		t.Fatalf("inferred cores = %d, want 4 (RequestBuffer 128)", got)
+	}
+	unbounded := dram.DefaultConfig(1)
+	unbounded.RequestBuffer = 0
+	if got := New(DefaultConfig(), mem.New(), dram.NewController(unbounded)).Config().Cores; got != 1 {
+		t.Fatalf("unbounded-buffer cores = %d, want 1", got)
+	}
+	cfg := DefaultConfig()
+	cfg.Cores = 3
+	if got := New(cfg, mem.New(), dram.NewController(dram.DefaultConfig(8))).Config().Cores; got != 3 {
+		t.Fatalf("explicit cores rewritten to %d, want 3", got)
+	}
+}
+
 // An explicit PrefetchCongestionLimit of 0 and an unset field (as left by
 // DefaultConfig or a JSON payload that omits it) must behave identically:
 // both resolve to half the request buffer at construction, and Config()

@@ -10,6 +10,13 @@ import "ldsprefetch/internal/prefetch"
 // a lossy scheme would change simulated behavior — but allocates once at
 // construction and never again.
 //
+// Entries are reference counted for the eviction ring's benefit: a block
+// prefetch-evicted twice within the ring window holds two ring slots but one
+// table entry (ref bumps the count; release decrements and deletes only at
+// zero), so recycling the older slot cannot drop attribution the newer slot
+// still covers. put/del keep plain unrefcounted map semantics (put pins the
+// count at 1) for callers and tests that want a pure map.
+//
 // Address 0 is the empty-slot sentinel. That is safe here: keys are L2 block
 // addresses, and every simulated region (globals, heap, stack) sits well
 // above 0 — the caller's eviction ring already relies on the same convention.
@@ -18,6 +25,7 @@ import "ldsprefetch/internal/prefetch"
 type srcMap struct {
 	keys  []uint32
 	vals  []prefetch.Source
+	cnt   []uint16 // references per entry; bounded by the caller's ring size
 	mask  uint32
 	shift uint
 }
@@ -28,6 +36,7 @@ func newSrcMap(logSize uint) *srcMap {
 	return &srcMap{
 		keys:  make([]uint32, 1<<logSize),
 		vals:  make([]prefetch.Source, 1<<logSize),
+		cnt:   make([]uint16, 1<<logSize),
 		mask:  uint32(1<<logSize) - 1,
 		shift: 32 - logSize,
 	}
@@ -51,19 +60,74 @@ func (m *srcMap) get(key uint32) (prefetch.Source, bool) {
 	}
 }
 
-// put records src for key, overwriting any previous entry.
+// put records src for key, overwriting any previous entry. The reference
+// count is pinned at 1: put/del form the plain map interface.
 func (m *srcMap) put(key uint32, src prefetch.Source) {
 	for i := m.home(key); ; i = (i + 1) & m.mask {
 		switch m.keys[i] {
 		case key, 0:
 			m.keys[i] = key
 			m.vals[i] = src
+			m.cnt[i] = 1
 			return
 		}
 	}
 }
 
-// del removes key if present.
+// ref records src for key and takes one reference: a fresh entry starts at
+// count 1, an existing one keeps its references and adopts the newer source
+// (the most recent displacer owns the attribution).
+func (m *srcMap) ref(key uint32, src prefetch.Source) {
+	for i := m.home(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			m.vals[i] = src
+			m.cnt[i]++
+			return
+		case 0:
+			m.keys[i] = key
+			m.vals[i] = src
+			m.cnt[i] = 1
+			return
+		}
+	}
+}
+
+// release drops one reference to key, deleting the entry when the last
+// reference goes. Releasing an absent key is a no-op (the entry was removed
+// outright by del while ring slots still pointed at it).
+func (m *srcMap) release(key uint32) {
+	for i := m.home(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			if m.cnt[i] > 1 {
+				m.cnt[i]--
+				return
+			}
+			m.del(key)
+			return
+		case 0:
+			return
+		}
+	}
+}
+
+// consume overwrites key's source in place (keeping its references) — the
+// demand miss that pays for the pollution has been attributed, and further
+// misses to the same block must not re-count until it is displaced again.
+func (m *srcMap) consume(key uint32, src prefetch.Source) {
+	for i := m.home(key); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case key:
+			m.vals[i] = src
+			return
+		case 0:
+			return
+		}
+	}
+}
+
+// del removes key if present, regardless of reference count.
 func (m *srcMap) del(key uint32) {
 	i := m.home(key)
 	for ; m.keys[i] != key; i = (i + 1) & m.mask {
@@ -76,6 +140,7 @@ func (m *srcMap) del(key uint32) {
 	// remaining chain.
 	for {
 		m.keys[i] = 0
+		m.cnt[i] = 0
 		j := i
 		for {
 			j = (j + 1) & m.mask
@@ -86,7 +151,7 @@ func (m *srcMap) del(key uint32) {
 			// Move keys[j] into the hole at i unless its home lies cyclically
 			// within (i, j] — moving it would place it before its home.
 			if (j-h)&m.mask >= (j-i)&m.mask {
-				m.keys[i], m.vals[i] = m.keys[j], m.vals[j]
+				m.keys[i], m.vals[i], m.cnt[i] = m.keys[j], m.vals[j], m.cnt[j]
 				i = j
 				break
 			}

@@ -59,6 +59,135 @@ func TestSrcMapMatchesMap(t *testing.T) {
 	}
 }
 
+// TestSrcMapRefcountMatchesMap drives the reference-counted interface
+// (ref/release/consume) and a reference map with explicit counts through the
+// same randomized workload, interleaved with outright del, and asserts
+// sources, presence, and counts never disagree.
+func TestSrcMapRefcountMatchesMap(t *testing.T) {
+	type entry struct {
+		src prefetch.Source
+		cnt int
+	}
+	rng := rand.New(rand.NewSource(7))
+	m := newSrcMap(8) // 256 slots
+	ref := make(map[uint32]*entry)
+	key := func() uint32 {
+		return 0x1000_0000 + uint32(rng.Intn(200))<<6
+	}
+	src := func() prefetch.Source {
+		return prefetch.Source(1 + rng.Intn(int(prefetch.NumSources)-1))
+	}
+	for op := 0; op < 200000; op++ {
+		k := key()
+		switch rng.Intn(5) {
+		case 0: // ref: new entry at count 1, existing bumps and re-sources
+			if e, ok := ref[k]; ok {
+				s := src()
+				m.ref(k, s)
+				e.src = s
+				e.cnt++
+			} else if len(ref) < 120 {
+				s := src()
+				m.ref(k, s)
+				ref[k] = &entry{src: s, cnt: 1}
+			}
+		case 1: // release: drops one reference, deletes at zero
+			m.release(k)
+			if e, ok := ref[k]; ok {
+				if e.cnt--; e.cnt == 0 {
+					delete(ref, k)
+				}
+			}
+		case 2: // consume: re-source in place, keep references
+			s := src()
+			m.consume(k, s)
+			if e, ok := ref[k]; ok {
+				e.src = s
+			}
+		case 3: // del: removes outright regardless of count
+			m.del(k)
+			delete(ref, k)
+		case 4:
+			got, ok := m.get(k)
+			e, wantOK := ref[k]
+			if ok != wantOK || (ok && got != e.src) {
+				t.Fatalf("op %d: get(%#x) = %v,%v; reference %+v,%v", op, k, got, ok, e, wantOK)
+			}
+		}
+	}
+	live := 0
+	for i, k := range m.keys {
+		if k == 0 {
+			continue
+		}
+		live++
+		e, ok := ref[k]
+		if !ok {
+			t.Fatalf("table holds ghost key %#x", k)
+		}
+		if int(m.cnt[i]) != e.cnt {
+			t.Fatalf("count(%#x) = %d, reference %d", k, m.cnt[i], e.cnt)
+		}
+	}
+	if live != len(ref) {
+		t.Fatalf("table holds %d entries, reference %d", live, len(ref))
+	}
+}
+
+// TestSrcMapWraparoundChains pins backward-shift deletion on probe chains
+// that cross the table boundary: keys homing in the last slots spill past
+// slot 0, and the Knuth 6.4-R cyclic-home comparison must move (and stop
+// moving) exactly the right entries when a mid-chain key is deleted.
+func TestSrcMapWraparoundChains(t *testing.T) {
+	m := newSrcMap(4) // 16 slots
+	// Collect block-aligned keys homing in the last two slots; five of them
+	// must occupy 14, 15, 0, 1, 2 — a chain wrapping the boundary.
+	var keys []uint32
+	for k := uint32(64); len(keys) < 5; k += 64 {
+		if m.home(k) >= 14 {
+			keys = append(keys, k)
+		}
+	}
+	srcOf := func(i int) prefetch.Source {
+		return prefetch.Source(1 + i%(int(prefetch.NumSources)-1))
+	}
+	check := func(deleted map[int]bool) {
+		t.Helper()
+		for i, k := range keys {
+			got, ok := m.get(k)
+			if deleted[i] {
+				if ok {
+					t.Fatalf("deleted key %#x still present (%v)", k, got)
+				}
+				continue
+			}
+			if !ok || got != srcOf(i) {
+				t.Fatalf("get(%#x) = %v,%v, want %v (wraparound shift corrupted the chain)",
+					k, got, ok, srcOf(i))
+			}
+		}
+	}
+	for i, k := range keys {
+		m.put(k, srcOf(i))
+	}
+	check(map[int]bool{})
+	// Delete mid-chain: entries past the boundary must shift back across it.
+	deleted := map[int]bool{1: true}
+	m.del(keys[1])
+	check(deleted)
+	// Drain the rest in mixed order, verifying survivors after each delete.
+	for _, i := range []int{3, 0, 4, 2} {
+		m.del(keys[i])
+		deleted[i] = true
+		check(deleted)
+	}
+	for i, k := range m.keys {
+		if k != 0 || m.cnt[i] != 0 {
+			t.Fatalf("slot %d not empty after draining: key %#x cnt %d", i, k, m.cnt[i])
+		}
+	}
+}
+
 func TestSrcMapDelAbsent(t *testing.T) {
 	m := newSrcMap(4)
 	m.del(0x1000_0040) // empty table: no-op

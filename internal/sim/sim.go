@@ -35,6 +35,7 @@ import (
 	"ldsprefetch/internal/dram"
 	"ldsprefetch/internal/memsys"
 	"ldsprefetch/internal/prefetch"
+	"ldsprefetch/internal/sim/engine"
 	"ldsprefetch/internal/sim/registry"
 	"ldsprefetch/internal/telemetry"
 	"ldsprefetch/internal/workload"
@@ -161,18 +162,25 @@ func blockShift(n int) uint {
 	return s
 }
 
-// assemble builds one core's full stack for benchmark bench, sharing ctrl.
-// It is a loop over the spec's components: control policies are constructed
-// first, then each prefetcher is built through its registry factory,
-// attached, and offered to every policy, and finally the policies install
-// themselves — all in spec order.
-func assemble(bench string, p workload.Params, sp Spec, ctrl *dram.Controller) (*system, error) {
+// assemble builds one core's full stack for benchmark bench, issuing memory
+// requests through ctrl on a cores-wide machine. It is a loop over the
+// spec's components: control policies are constructed first, then each
+// prefetcher is built through its registry factory, attached, and offered to
+// every policy, and finally the policies install themselves — all in spec
+// order.
+func assemble(bench string, p workload.Params, sp Spec, ctrl *dram.Controller, cores int) (*system, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
 	mcfg := memsys.DefaultConfig()
 	if sp.MemCfg != nil {
 		mcfg = *sp.MemCfg
+	}
+	if mcfg.Cores < 1 {
+		// The real machine width, for the fair-share prefetch pacing —
+		// memsys must not have to infer it from the request-buffer size
+		// (wrong for custom DRAM configs). An explicit MemCfg.Cores wins.
+		mcfg.Cores = cores
 	}
 	if mcfg.BlockSize <= 0 || mcfg.BlockSize&(mcfg.BlockSize-1) != 0 {
 		return nil, fmt.Errorf("sim: block size %d is not a positive power of two", mcfg.BlockSize)
@@ -369,9 +377,12 @@ func controllerFor(sp Spec, cores int) *dram.Controller {
 }
 
 // RunSingleSpec builds and runs benchmark bench on a single-core system.
+// The core talks to the controller directly — the epoch-barrier engine is a
+// multi-core construct and single-core runs take the zero-overhead path
+// regardless of Spec.Engine.
 func RunSingleSpec(bench string, p workload.Params, sp Spec) (Result, error) {
 	ctrl := controllerFor(sp, 1)
-	sys, err := assemble(bench, p, sp, ctrl)
+	sys, err := assemble(bench, p, sp, ctrl, 1)
 	if err != nil {
 		return Result{}, err
 	}
@@ -407,55 +418,66 @@ type MultiResult struct {
 	BusPKI       float64
 }
 
+// engineEpochCycles is the epoch width of the multi-core execution engine,
+// and engineEchoLookahead its cross-traffic collision half-window (see
+// internal/sim/engine and dram.Controller.SetEcho). Both are simulator
+// semantics — they shape how cross-core contention is resolved — so changing
+// either changes multi-core results: bump jobs.SchemaVersion and regenerate
+// the multi-core goldens if you do. The lookahead is calibrated near the
+// visibility window of the pre-engine shared-controller loop (which advanced
+// the laggard core 64 ops at a time, a few hundred cycles of bidirectional
+// horizon visibility).
+const (
+	engineEpochCycles   = 2048
+	engineEchoLookahead = 512
+)
+
 // RunSharedSpec runs the given benchmarks concurrently, one per core, on a
 // shared DRAM controller (private L1/L2 per core, as in the paper's
-// multi-core configuration). The speedup-normalization fields (AloneIPC,
+// multi-core configuration), under the epoch-barrier execution engine
+// (internal/sim/engine; Spec.Engine selects serial or parallel stepping,
+// with byte-identical reports). The speedup-normalization fields (AloneIPC,
 // WeightedSpeedup, HmeanSpeedup) are left zero; run each benchmark alone
 // with RunAloneSpec and call Normalize to fill them. Job schedulers use this
 // decomposition to cache and share alone runs across mixes.
 func RunSharedSpec(benches []string, p workload.Params, sp Spec) (MultiResult, error) {
 	n := len(benches)
-	ctrl := controllerFor(sp, n)
+	master := controllerFor(sp, n)
 	systems := make([]*system, n)
+	shadows := make([]*dram.Controller, n)
+	cores := make([]engine.Core, n)
 	for i, b := range benches {
-		sys, err := assemble(b, p, sp, ctrl)
+		// Each core runs against a private shadow controller that logs its
+		// requests; the engine rebases shadows on the master at every epoch
+		// boundary and replays the logs onto it at the barrier in
+		// (core-index, program-order) arbitration order. The master holds
+		// the one canonical interleaving — identical under both engines.
+		shadow := dram.NewController(master.Config())
+		shadow.StartLog()
+		sys, err := assemble(b, p, sp, shadow, n)
 		if err != nil {
 			return MultiResult{}, err
 		}
 		systems[i] = sys
+		shadows[i] = shadow
+		cores[i] = sys.core
 	}
+	engine.Run(cores, shadows, master, engine.Config{
+		EpochCycles:   engineEpochCycles,
+		EchoLookahead: engineEchoLookahead,
+		Parallel:      sp.Engine == EngineParallel,
+	})
 
-	// Interleave cores finely, always advancing the core that is furthest
-	// behind in simulated time, so shared-resource contention is resolved
-	// in approximate timestamp order.
-	const chunk = 64
-	for {
-		best := -1
-		var bestNow int64
-		for i, sys := range systems {
-			if sys.core.Done() {
-				continue
-			}
-			if best == -1 || sys.core.Now() < bestNow {
-				best, bestNow = i, sys.core.Now()
-			}
-		}
-		if best == -1 {
-			break
-		}
-		systems[best].core.Step(chunk)
-	}
-
-	res := MultiResult{Benchmarks: benches, Setup: sp.Name, BusTransfers: ctrl.Transfers}
+	res := MultiResult{Benchmarks: benches, Setup: sp.Name, BusTransfers: master.Transfers}
 	var totalRetired int64
 	for _, sys := range systems {
 		sys.ms.FlushAccounting()
-		r := sys.result(sp.Name, ctrl.Transfers)
+		r := sys.result(sp.Name, master.Transfers)
 		totalRetired += r.Retired
 		res.PerCore = append(res.PerCore, r)
 	}
 	if totalRetired > 0 {
-		res.BusPKI = float64(ctrl.Transfers) / (float64(totalRetired) / 1000)
+		res.BusPKI = float64(master.Transfers) / (float64(totalRetired) / 1000)
 	}
 	return res, nil
 }
@@ -472,7 +494,7 @@ func RunShared(benches []string, p workload.Params, s Setup) (MultiResult, error
 // that includes the benchmark under the same configuration.
 func RunAloneSpec(bench string, p workload.Params, sp Spec, cores int) (Result, error) {
 	ctrl := controllerFor(sp, cores)
-	sys, err := assemble(bench, p, sp, ctrl)
+	sys, err := assemble(bench, p, sp, ctrl, cores)
 	if err != nil {
 		return Result{}, err
 	}

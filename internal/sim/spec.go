@@ -71,6 +71,16 @@ type Spec struct {
 	// from serialization and from the canonical encoding.
 	Trace bool `json:"-"`
 
+	// Engine selects the multi-core execution engine: EngineSerial (the
+	// default, also selected by "") steps cores sequentially, EngineParallel
+	// runs each epoch's cores on separate goroutines. Both drive the same
+	// epoch-barrier machinery (internal/sim/engine) and produce byte-identical
+	// reports, so Engine — like Trace — is excluded from the canonical
+	// encoding: it changes wall-clock time, never results. Single-core runs
+	// ignore it. It does round-trip through JSON so distributed workers
+	// honor the coordinator's choice.
+	Engine string `json:"engine,omitempty"`
+
 	// IntervalLen overrides the feedback interval (L2 evictions).
 	IntervalLen int `json:"interval_len,omitempty"`
 	// MemCfg / CPUCfg / DRAMCfg override the paper-default hardware
@@ -83,6 +93,16 @@ type Spec struct {
 	// Aggressive, the paper's baseline configuration).
 	InitialLevel *prefetch.AggLevel `json:"initial_level,omitempty"`
 }
+
+// Engine values for Spec.Engine.
+const (
+	// EngineSerial steps the cores of a mix sequentially through the
+	// epoch-barrier engine. The default.
+	EngineSerial = "serial"
+	// EngineParallel runs each epoch's cores on separate goroutines;
+	// reports are byte-identical to EngineSerial.
+	EngineParallel = "parallel"
+)
 
 // NewSpec returns a Spec named name with default-option components of the
 // given kinds, in order. Use With / NewComponent for non-default options.
@@ -144,6 +164,12 @@ func (e *SpecError) Unwrap() error { return e.Err }
 // rules. It is purely static — nothing is constructed — so servers can
 // reject bad requests before scheduling work. Errors are *SpecError.
 func (sp Spec) Validate() error {
+	switch sp.Engine {
+	case "", EngineSerial, EngineParallel:
+	default:
+		return &SpecError{Spec: sp.Name, Err: ErrBadComposition,
+			Reason: fmt.Sprintf("unknown engine %q (use %q or %q)", sp.Engine, EngineSerial, EngineParallel)}
+	}
 	seen := make(map[string]bool, len(sp.Components))
 	var claimants []string
 	switchable := 0
@@ -216,9 +242,10 @@ type canonComponent struct {
 
 // canonSpec is the canonical, versioned form of a Spec. Field order is
 // fixed by the struct; every pointer field is expanded to value-or-null;
-// the hint table serializes as sorted (pc, pos, neg) triples. Trace is
-// deliberately absent: tracing is observation-only and traced runs bypass
-// the cache anyway.
+// the hint table serializes as sorted (pc, pos, neg) triples. Trace and
+// Engine are deliberately absent: tracing is observation-only, and the
+// serial and parallel engines produce byte-identical results, so neither
+// may split cache keys.
 type canonSpec struct {
 	Name         string           `json:"name"`
 	Components   []canonComponent `json:"components"`
