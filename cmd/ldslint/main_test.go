@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestVersionHandshake: cmd/go probes the vet tool with -V=full and expects
+// "<name> version <version>" for its action-cache key.
+func TestVersionHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if got, want := stdout.String(), "ldslint version "+version+"\n"; got != want {
+		t.Errorf("stdout = %q, want %q", got, want)
+	}
+}
+
+// TestFlagsHandshake: go vet queries -flags to learn which flags it may pass
+// through; every analyzer toggle must be present.
+func TestFlagsHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, stdout.String())
+	}
+	got := map[string]bool{}
+	for _, f := range flags {
+		if !f.Bool {
+			t.Errorf("flag %s is not boolean; go vet only forwards boolean tool flags", f.Name)
+		}
+		got[f.Name] = true
+	}
+	for _, want := range []string{"timings", "maporder", "walltime", "checkedmath", "observereffect", "nondetflow", "lockcheck"} {
+		if !got[want] {
+			t.Errorf("-flags output missing %q; got %s", want, stdout.String())
+		}
+	}
+}
+
+func TestBadFlagExitsNonzero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "no-such-flag") {
+		t.Errorf("stderr does not mention the bad flag:\n%s", stderr.String())
+	}
+}

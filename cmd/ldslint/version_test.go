@@ -1,0 +1,78 @@
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// analyzerSourceDirs are the directories whose .go files define the suite's
+// behavior. linttest and _test.go files are excluded: they cannot change what
+// the tool reports.
+var analyzerSourceDirs = []string{".", "../../internal/lint", "../../internal/lint/driver"}
+
+// analyzerSourceHash hashes every non-test .go file in analyzerSourceDirs,
+// bound to its path, in sorted order.
+func analyzerSourceHash(t *testing.T) string {
+	t.Helper()
+	var paths []string
+	for _, dir := range analyzerSourceDirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(h, "%s\x00", filepath.ToSlash(p))
+		h.Write(data)
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestAnalyzerSourcesPinnedToVersion is the vet-cache staleness guard. cmd/go
+// keys its vet action cache (including the vetx fact files) on the tool's
+// -V=full reply, i.e. on the version constant — NOT on the tool's contents.
+// Changing analyzer behavior without bumping version would silently reuse
+// cached verdicts and stale facts. sourcehash.txt pins "<version> <hash>";
+// this test fails whenever the analyzer sources change while version stands
+// still.
+func TestAnalyzerSourcesPinnedToVersion(t *testing.T) {
+	got := analyzerSourceHash(t)
+	pinned, err := os.ReadFile("sourcehash.txt")
+	if err != nil {
+		t.Fatalf("reading sourcehash.txt: %v\n"+
+			"create it with one line: %q", err, version+" "+got)
+	}
+	fields := strings.Fields(string(pinned))
+	if len(fields) != 2 {
+		t.Fatalf("sourcehash.txt: want exactly %q, got %q", "<version> <sha256>", string(pinned))
+	}
+	pinnedVersion, pinnedHash := fields[0], fields[1]
+	if pinnedVersion != version {
+		t.Fatalf("sourcehash.txt pins version %s but cmd/ldslint/main.go declares %s;\n"+
+			"update sourcehash.txt to: %q", pinnedVersion, version, version+" "+got)
+	}
+	if pinnedHash != got {
+		t.Fatalf("analyzer sources changed but version is still %s — go vet would reuse stale cached verdicts and vetx facts.\n"+
+			"Bump the version constant in cmd/ldslint/main.go, then update sourcehash.txt to: %q",
+			version, version+" "+got)
+	}
+}

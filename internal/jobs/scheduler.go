@@ -81,9 +81,11 @@ type Scheduler struct {
 	slots   chan struct{}
 	metrics *Metrics // always non-nil; per-scheduler
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//ldslint:guardedby mu
 	inflight map[string]*call
-	records  []Record
+	//ldslint:guardedby mu
+	records []Record
 }
 
 type call struct {

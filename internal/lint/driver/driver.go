@@ -13,6 +13,7 @@
 package driver
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -22,6 +23,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"ldsprefetch/internal/lint"
 )
@@ -46,6 +48,25 @@ type Package struct {
 	PkgPath string // normalized import path (test variants stripped)
 }
 
+// AnalyzeOpts configures one Analyze call.
+type AnalyzeOpts struct {
+	// Facts is the cross-package fact store: analyzers read their
+	// dependencies' facts from it and their exports are recorded into it
+	// under the package's normalized path. Nil disables facts flow.
+	Facts lint.FactSet
+	// FactsOnly runs the package purely as a dependency: only fact-using
+	// analyzers run, and no diagnostics are returned. Used for packages
+	// that are out of every reporting scope (or are dependency-only) but
+	// whose facts importers need.
+	FactsOnly bool
+	// SuppressFactExport drops the package's own fact exports. The
+	// standalone loader sets it for external test packages ("p_test"),
+	// whose normalized path collides with the package under test.
+	SuppressFactExport bool
+	// Timings, when non-nil, accumulates per-analyzer wall time.
+	Timings map[string]time.Duration
+}
+
 // InScope reports whether any of the analyzers applies to the normalized
 // import path. Drivers use it to skip type-checking packages no analyzer
 // cares about.
@@ -58,14 +79,30 @@ func InScope(pkgPath string, analyzers []*lint.Analyzer) bool {
 	return false
 }
 
-// Analyze runs every in-scope analyzer over pkg, returning diagnostics
-// sorted by position.
-func Analyze(pkg *Package, analyzers []*lint.Analyzer) []Diagnostic {
-	var out []Diagnostic
+// usesFacts reports whether any analyzer needs dependency-order fact passes.
+func usesFacts(analyzers []*lint.Analyzer) bool {
 	for _, a := range analyzers {
-		if a.Scope != nil && !a.Scope(pkg.PkgPath) {
+		if a.UsesFacts {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze runs the analyzers over pkg, returning diagnostics sorted by
+// position. Analyzers whose Scope excludes the package still run facts-only
+// when they use facts; reporting passes also surface unused suppressions and
+// unknown annotation markers.
+func Analyze(pkg *Package, analyzers []*lint.Analyzer, opts AnalyzeOpts) []Diagnostic {
+	var out []Diagnostic
+	reported := false
+	for _, a := range analyzers {
+		inScope := a.Scope == nil || a.Scope(pkg.PkgPath)
+		factsOnly := opts.FactsOnly || !inScope
+		if factsOnly && !a.UsesFacts {
 			continue
 		}
+		start := time.Now()
 		pass := &lint.Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -73,6 +110,7 @@ func Analyze(pkg *Package, analyzers []*lint.Analyzer) []Diagnostic {
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.Info,
 			PkgPath:   pkg.PkgPath,
+			FactsOnly: factsOnly,
 			Report: func(d lint.Diagnostic) {
 				out = append(out, Diagnostic{
 					Analyzer: a.Name,
@@ -81,10 +119,40 @@ func Analyze(pkg *Package, analyzers []*lint.Analyzer) []Diagnostic {
 				})
 			},
 		}
+		if factsOnly {
+			pass.Report = func(lint.Diagnostic) {}
+		}
+		if opts.Facts != nil {
+			name := a.Name
+			pass.ReadFacts = func(pkgPath string) json.RawMessage {
+				return opts.Facts.Read(name, pkgPath)
+			}
+			if !opts.SuppressFactExport {
+				pass.ExportFacts = func(payload json.RawMessage) {
+					opts.Facts.Set(name, pkg.PkgPath, payload)
+				}
+			}
+		}
 		if err := a.Run(pass); err != nil {
 			out = append(out, Diagnostic{
 				Analyzer: a.Name,
 				Message:  fmt.Sprintf("internal error: %v", err),
+			})
+		}
+		if !factsOnly {
+			pass.ReportUnusedSuppressions()
+			reported = true
+		}
+		if opts.Timings != nil {
+			opts.Timings[a.Name] += time.Since(start)
+		}
+	}
+	if reported {
+		for _, d := range lint.UnknownMarkerDiagnostics(pkg.Files) {
+			out = append(out, Diagnostic{
+				Analyzer: "annotations",
+				Position: pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
 			})
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"ldsprefetch/internal/lint"
 )
@@ -20,6 +21,7 @@ type listPackage struct {
 	Name       string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	ImportMap  map[string]string
 	Export     string
 	DepOnly    bool
@@ -27,17 +29,35 @@ type listPackage struct {
 	Module     *struct{ GoVersion string }
 }
 
+// Result is one standalone run: the diagnostics plus per-analyzer wall time.
+type Result struct {
+	Diags   []Diagnostic
+	Timings map[string]time.Duration
+}
+
 // LoadAndAnalyze resolves the patterns with `go list -test -deps -export`,
-// type-checks every matched non-dependency package that any analyzer is
-// scoped to, and runs the analyzers. Test files are linted too, via the test
-// variants go list synthesizes ("p [p.test]" and "p_test"), under the same
-// rules as the package they test.
-func LoadAndAnalyze(patterns []string, analyzers []*lint.Analyzer) ([]Diagnostic, error) {
+// type-checks the matched packages, and runs the analyzers. Test files are
+// linted too, via the test variants go list synthesizes ("p [p.test]" and
+// "p_test"), under the same rules as the package they test.
+//
+// When the suite contains fact-using analyzers, every module-local package
+// in the dependency closure is analyzed in topological (dependencies-first)
+// order — facts-only for packages that are out of scope or matched only as
+// dependencies — so cross-package facts are always available when a
+// package's importers are checked.
+func LoadAndAnalyze(patterns []string, analyzers []*lint.Analyzer) (*Result, error) {
+	return LoadAndAnalyzeIn("", patterns, analyzers)
+}
+
+// LoadAndAnalyzeIn is LoadAndAnalyze with go list run in dir (empty means
+// the current directory); tests use it to analyze temporary modules.
+func LoadAndAnalyzeIn(dir string, patterns []string, analyzers []*lint.Analyzer) (*Result, error) {
 	args := append([]string{
 		"list", "-test", "-deps", "-export",
-		"-json=ImportPath,Dir,Name,GoFiles,CgoFiles,ImportMap,Export,DepOnly,Standard,Module",
+		"-json=ImportPath,Dir,Name,GoFiles,CgoFiles,Imports,ImportMap,Export,DepOnly,Standard,Module",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
@@ -63,7 +83,9 @@ func LoadAndAnalyze(patterns []string, analyzers []*lint.Analyzer) ([]Diagnostic
 
 	// A package with tests appears twice: plain ("p") and as the
 	// test-augmented variant ("p [p.test]") whose GoFiles are a superset.
-	// Analyze the augmented variant only, so each file is checked once.
+	// Diagnostics come from the augmented variant only, so each file is
+	// checked once; facts come from the plain variant, which is what
+	// importers outside p's own tests compile against.
 	augmented := map[string]bool{}
 	for _, p := range pkgs {
 		if base, ok := ownTestVariant(p.ImportPath); ok && base != p.ImportPath {
@@ -71,21 +93,70 @@ func LoadAndAnalyze(patterns []string, analyzers []*lint.Analyzer) ([]Diagnostic
 		}
 	}
 
-	fset := token.NewFileSet()
-	var diags []Diagnostic
+	var units []*listPackage
+	factProvider := map[string]*listPackage{} // plain import path -> unit whose facts represent it
 	for _, p := range pkgs {
-		if p.DepOnly || p.Standard || p.Name == "" ||
+		if p.Standard || p.Name == "" ||
 			strings.HasSuffix(p.ImportPath, ".test") || len(p.CgoFiles) > 0 {
 			continue
 		}
-		if _, ok := ownTestVariant(p.ImportPath); !ok {
+		base, ok := ownTestVariant(p.ImportPath)
+		if !ok {
 			continue // a foreign test variant such as "q [p.test]"
 		}
-		if augmented[p.ImportPath] {
-			continue // superseded by "p [p.test]"
+		units = append(units, p)
+		if base == p.ImportPath { // plain package (or external test pkg)
+			factProvider[base] = p
 		}
+	}
+
+	// Topological order: dependencies before importers, so fact passes see
+	// their imports' facts. Bracketed imports ("q [p.test]") resolve to the
+	// plain package, and a test-augmented variant depends on its own plain
+	// variant, which keeps the graph acyclic even when a test dependency
+	// imports the package under test.
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := map[*listPackage]int{}
+	order := make([]*listPackage, 0, len(units))
+	var visit func(p *listPackage)
+	visit = func(p *listPackage) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = visiting
+		if base, _ := ownTestVariant(p.ImportPath); base != p.ImportPath {
+			if dep := factProvider[strings.TrimSuffix(base, "_test")]; dep != nil {
+				visit(dep)
+			}
+		}
+		for _, imp := range p.Imports {
+			if i := strings.Index(imp, " ["); i >= 0 {
+				imp = imp[:i]
+			}
+			if dep := factProvider[imp]; dep != nil {
+				visit(dep)
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+	}
+	for _, p := range units {
+		visit(p)
+	}
+
+	needFacts := usesFacts(analyzers)
+	res := &Result{Timings: map[string]time.Duration{}}
+	facts := lint.FactSet{}
+	fset := token.NewFileSet()
+	for _, p := range order {
+		// Reporting units are the pattern-matched packages, with the plain
+		// variant superseded by its test-augmented twin.
 		norm := lint.NormalizePkgPath(p.ImportPath)
-		if !InScope(norm, analyzers) {
+		reporting := !p.DepOnly && !augmented[p.ImportPath] && InScope(norm, analyzers)
+		if !reporting && !needFacts {
 			continue
 		}
 		goVersion := ""
@@ -103,9 +174,18 @@ func LoadAndAnalyze(patterns []string, analyzers []*lint.Analyzer) ([]Diagnostic
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
 		}
-		diags = append(diags, Analyze(pkg, analyzers)...)
+		base, _ := ownTestVariant(p.ImportPath)
+		diags := Analyze(pkg, analyzers, AnalyzeOpts{
+			Facts:     facts,
+			FactsOnly: !reporting,
+			// "p_test" and "p [p.test]" normalize to "p": keep the plain
+			// variant's facts authoritative for importers.
+			SuppressFactExport: base != p.ImportPath || strings.HasSuffix(base, "_test"),
+			Timings:            res.Timings,
+		})
+		res.Diags = append(res.Diags, diags...)
 	}
-	return diags, nil
+	return res, nil
 }
 
 // ownTestVariant classifies an import path from `go list -test` output: it

@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"strings"
 
 	"ldsprefetch/internal/lint"
 )
@@ -36,12 +37,29 @@ type VetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// moduleLocal reports whether the vetted package belongs to the module under
+// analysis (as opposed to the standard library or another module): those are
+// the packages whose facts the interprocedural analyzers compute. cmd/go
+// writes ModulePath only for packages of the module being vetted — standard-
+// library dependency units come with an empty ModulePath — so an empty value
+// means foreign, keeping vet mode's fact coverage identical to the standalone
+// loader (which skips std outright).
+func (cfg *VetConfig) moduleLocal(norm string) bool {
+	if cfg.Standard[norm] || cfg.ModulePath == "" {
+		return false
+	}
+	return norm == cfg.ModulePath || strings.HasPrefix(norm, cfg.ModulePath+"/")
+}
+
 // Unitchecker implements the vet tool protocol for one package: it reads the
-// config, writes the (empty — the suite records no cross-package facts) vetx
-// output so cmd/go can cache the action, and unless the invocation is
-// facts-only, type-checks the package from the export data cmd/go supplies
-// and runs the analyzers. Diagnostics go to w; the returned exit code
-// follows cmd/vet: 0 clean, 1 tool failure, 2 diagnostics reported.
+// config, merges the dependency facts cmd/go hands over via PackageVetx,
+// type-checks the package from the export data cmd/go supplies, runs the
+// analyzers (facts-only when the invocation is a VetxOnly dependency pass or
+// the package is outside every reporting scope), and writes the merged fact
+// set — dependencies' plus this package's own — to VetxOutput so cmd/go can
+// cache the action and forward facts to importers. Diagnostics go to w; the
+// returned exit code follows cmd/vet: 0 clean, 1 tool failure, 2 diagnostics
+// reported.
 func Unitchecker(w io.Writer, cfgFile string, analyzers []*lint.Analyzer) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -53,31 +71,68 @@ func Unitchecker(w io.Writer, cfgFile string, analyzers []*lint.Analyzer) int {
 		fmt.Fprintf(w, "ldslint: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	if cfg.VetxOutput != "" {
+	writeVetx := func(fs lint.FactSet) bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
 		// cmd/go caches the vet action on this file's existence; an empty
-		// facts file is valid for a suite that exports none.
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		// fact set encodes to an empty file, which is also what pre-facts
+		// ldslint versions always wrote.
+		payload, err := fs.Encode()
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, payload, 0o666)
+		}
+		if err != nil {
 			fmt.Fprintf(w, "ldslint: %v\n", err)
+			return false
+		}
+		return true
+	}
+
+	norm := lint.NormalizePkgPath(cfg.ImportPath)
+	// Standard-library (and other foreign) dependency passes are pure
+	// bookkeeping: no facts to compute, nothing to report.
+	if !InScope(norm, analyzers) && !(cfg.moduleLocal(norm) && usesFacts(analyzers)) {
+		if !writeVetx(lint.FactSet{}) {
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		return 0 // facts-only dependency pass: nothing to compute
-	}
-	norm := lint.NormalizePkgPath(cfg.ImportPath)
-	if !InScope(norm, analyzers) {
 		return 0
 	}
+
+	facts := lint.FactSet{}
+	for _, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // a dependency may legitimately have produced no facts
+		}
+		sub, err := lint.DecodeFactSet(data)
+		if err != nil {
+			continue // stale pre-facts file; the version bump reaps these
+		}
+		facts.Merge(sub)
+	}
+
 	pkg, err := check(token.NewFileSet(), cfg.ImportPath, cfg.GoVersion,
 		cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
 	if err != nil {
+		// Preserve the dependency facts for the cache even when this
+		// package cannot be analyzed.
+		if !writeVetx(facts) {
+			return 1
+		}
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fmt.Fprintf(w, "ldslint: typecheck %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	diags := Analyze(pkg, analyzers)
+	diags := Analyze(pkg, analyzers, AnalyzeOpts{
+		Facts:     facts,
+		FactsOnly: cfg.VetxOnly || !InScope(norm, analyzers),
+	})
+	if !writeVetx(facts) {
+		return 1
+	}
 	for _, d := range diags {
 		fmt.Fprintln(w, d)
 	}

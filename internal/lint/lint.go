@@ -13,27 +13,45 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
 // Analyzer is one lint rule.
 type Analyzer struct {
-	// Name identifies the analyzer in diagnostics and CLI flags. It is also
-	// the annotation marker: a `//ldslint:<name> <reason>` comment on the
-	// flagged line (or the line above) suppresses the diagnostic.
+	// Name identifies the analyzer in diagnostics and CLI flags.
 	Name string
 	// Doc is a one-paragraph description shown by `ldslint -help`.
 	Doc string
+	// Marker is the suppression-annotation marker: a `//ldslint:<marker>
+	// <reason>` comment on the flagged line (or the line above) suppresses
+	// the diagnostic. Empty means the marker equals Name (the common case;
+	// maporder's historical marker is "ordered").
+	Marker string
 	// Scope reports whether the analyzer applies to the package with the
 	// given import path. Drivers normalize test-variant paths (the
 	// "p [p.test]" and "p_test" forms) before calling it.
 	Scope func(pkgPath string) bool
+	// UsesFacts marks an interprocedural analyzer: drivers must run it over
+	// every module-local package in dependency order — facts-only (no
+	// diagnostics) outside Scope — so facts exported by dependencies are
+	// available when their importers are analyzed.
+	UsesFacts bool
 	// Run analyzes one package and reports findings through pass.Report.
 	Run func(pass *Pass) error
+}
+
+// marker returns the analyzer's effective annotation marker.
+func (a *Analyzer) marker() string {
+	if a.Marker != "" {
+		return a.Marker
+	}
+	return a.Name
 }
 
 // Diagnostic is one finding.
@@ -53,8 +71,37 @@ type Pass struct {
 	PkgPath string
 	Report  func(Diagnostic)
 
+	// FactsOnly marks a dependency pass: the analyzer runs to compute and
+	// export facts for importers, but the package itself is out of scope, so
+	// Report drops diagnostics. Analyzers may skip their reporting phase.
+	FactsOnly bool
+	// ReadFacts returns this analyzer's serialized facts for the dependency
+	// package with the given (normalized) import path, or nil when the
+	// package exported none. Nil when the driver does not supply facts.
+	ReadFacts func(pkgPath string) json.RawMessage
+	// ExportFacts records this analyzer's serialized facts for the current
+	// package, to be surfaced to importers via ReadFacts. Nil when the
+	// driver does not collect facts.
+	ExportFacts func(payload json.RawMessage)
+
 	// suppressions indexes //ldslint: comments by file line, built lazily.
 	suppressions map[*token.File]map[int]*annotation
+}
+
+// ImportedFacts is a nil-safe ReadFacts: it returns nil when the driver
+// supplies no facts or the dependency exported none.
+func (p *Pass) ImportedFacts(pkgPath string) json.RawMessage {
+	if p.ReadFacts == nil {
+		return nil
+	}
+	return p.ReadFacts(pkgPath)
+}
+
+// SetFacts is a nil-safe ExportFacts.
+func (p *Pass) SetFacts(payload json.RawMessage) {
+	if p.ExportFacts != nil {
+		p.ExportFacts(payload)
+	}
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -143,12 +190,122 @@ func (p *Pass) Suppressed(n ast.Node, marker string) bool {
 			continue
 		}
 		if a.reason == "" && !a.used {
-			a.used = true
 			p.Reportf(a.pos, "ldslint:%s annotation requires a reason (\"//ldslint:%s <why this is safe>\")", marker, marker)
 		}
+		a.used = true
 		return true
 	}
 	return false
+}
+
+// HasAnnotation reports whether n's line (or the line above) carries a
+// `//ldslint:<marker>` annotation, marking it used without reporting. It is
+// for analyzers that *consult* another analyzer's marker (e.g. nondetflow
+// honoring //ldslint:walltime at a taint source) rather than suppress their
+// own diagnostic: the reason-required check stays with the owning analyzer.
+func (p *Pass) HasAnnotation(n ast.Node, marker string) bool {
+	if p.suppressions == nil {
+		p.buildSuppressions()
+	}
+	tf := p.Fset.File(n.Pos())
+	if tf == nil {
+		return false
+	}
+	lines := p.suppressions[tf]
+	if lines == nil {
+		return false
+	}
+	line := tf.Line(n.Pos())
+	for _, l := range [2]int{line, line - 1} {
+		if a := lines[l]; a != nil && a.marker == marker {
+			a.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// declarationMarkers are annotation markers that declare a property for an
+// analyzer to *check* (lockcheck's field and function contracts) rather than
+// suppress a diagnostic. They are exempt from unused-suppression reporting:
+// their use is established by the declaration site, not by a silenced
+// finding.
+var declarationMarkers = map[string]bool{
+	"guardedby": true,
+	"holds":     true,
+}
+
+// ReportUnusedSuppressions reports every annotation carrying this analyzer's
+// marker that no diagnostic consulted during the pass: a stale escape hatch
+// is itself a finding, so suppressions are cleaned up instead of
+// accumulating. Drivers call it once per (analyzer, package) after Run, on
+// reporting passes only.
+func (p *Pass) ReportUnusedSuppressions() {
+	if p.suppressions == nil {
+		return // Run consulted no annotations, so none were parsed either
+	}
+	marker := p.Analyzer.marker()
+	if declarationMarkers[marker] {
+		return
+	}
+	var stale []*annotation
+	for _, lines := range p.suppressions {
+		for _, a := range lines {
+			if a.marker == marker && !a.used {
+				stale = append(stale, a)
+			}
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].pos < stale[j].pos })
+	for _, a := range stale {
+		p.Reportf(a.pos,
+			"unused suppression: no %s diagnostic fires here anymore; delete the //ldslint:%s annotation",
+			p.Analyzer.Name, marker)
+	}
+}
+
+// KnownMarkers returns every annotation marker the suite understands: each
+// analyzer's suppression marker plus the declaration markers. Drivers use it
+// to flag typo'd //ldslint: comments, which would otherwise be silent holes.
+func KnownMarkers() map[string]bool {
+	out := make(map[string]bool, len(declarationMarkers)+4)
+	for m := range declarationMarkers {
+		out[m] = true
+	}
+	for _, a := range All() {
+		out[a.marker()] = true
+	}
+	return out
+}
+
+// UnknownMarkerDiagnostics scans files for //ldslint: comments whose marker
+// no analyzer owns — a typo like //ldslint:guardeby silently disables the
+// protection its author intended.
+func UnknownMarkerDiagnostics(files []*ast.File) []Diagnostic {
+	known := KnownMarkers()
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if a := parseAnnotation(c); a != nil && !known[a.marker] {
+					out = append(out, Diagnostic{
+						Pos:     a.pos,
+						Message: fmt.Sprintf("unknown annotation marker %q: the suite understands %s", a.marker, knownMarkerList()),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func knownMarkerList() string {
+	var names []string
+	for m := range KnownMarkers() {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 // NormalizePkgPath maps test-variant import paths to the path of the package
@@ -216,6 +373,25 @@ var servingPackages = append([]string{
 	"internal/server",
 }, determinismPackages...)
 
+// nondetflowPackages are the sinks of the cross-package taint analysis: the
+// determinism scope plus the cache-key encoding in internal/jobs. jobs reads
+// the clock legitimately (walltime excludes it), but a call from jobs to a
+// helper whose *result* is wall-clock-derived can reach the canonical key
+// encoding, so tainted calls are flagged there too.
+var nondetflowPackages = append([]string{
+	"internal/jobs",
+}, determinismPackages...)
+
+// lockcheckPackages are the packages with mutex-guarded shared state: the
+// scheduler, the distributed control plane, the parallel engine, and the
+// workload registry.
+var lockcheckPackages = []string{
+	"internal/jobs",
+	"internal/server",
+	"internal/sim/engine",
+	"internal/workload",
+}
+
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -223,5 +399,7 @@ func All() []*Analyzer {
 		WallTime,
 		CheckedMath,
 		ObserverEffect,
+		NondetFlow,
+		LockCheck,
 	}
 }

@@ -18,6 +18,7 @@
 package linttest
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -33,33 +34,30 @@ import (
 	"ldsprefetch/internal/lint"
 )
 
+// Package names one testdata package for a multi-package run: the directory
+// holding its sources and the pretend import path it is checked under.
+type Package struct {
+	Dir  string
+	Path string
+}
+
 // Run analyzes the package in dir under the pretend import path pkgPath and
 // compares diagnostics against the dir's // want comments. deps maps import
 // paths appearing in the testdata to their defining testdata directories.
 func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string, deps map[string]string) {
 	t.Helper()
-	fset := token.NewFileSet()
-	imp := &fakeImporter{fset: fset, deps: deps, loaded: map[string]*types.Package{}}
-	files, pkg, info, err := imp.check(pkgPath, dir)
-	if err != nil {
-		t.Fatalf("typecheck %s: %v", dir, err)
-	}
+	RunPackages(t, a, []Package{{Dir: dir, Path: pkgPath}}, deps)
+}
 
-	var diags []lint.Diagnostic
-	if a.Scope == nil || a.Scope(lint.NormalizePkgPath(pkgPath)) {
-		pass := &lint.Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			PkgPath:   lint.NormalizePkgPath(pkgPath),
-			Report:    func(d lint.Diagnostic) { diags = append(diags, d) },
-		}
-		if err := a.Run(pass); err != nil {
-			t.Fatalf("%s: %v", a.Name, err)
-		}
-	}
+// RunPackages analyzes pkgs in the given order — dependencies first, exactly
+// like a driver walking the import graph — with analyzer facts flowing
+// between them, and compares the diagnostics of every in-scope package
+// against the // want comments across all the packages' files. Out-of-scope
+// packages run facts-only when the analyzer uses facts (so a `// want` in an
+// out-of-scope file correctly fails: no diagnostic can match it).
+func RunPackages(t *testing.T, a *lint.Analyzer, pkgs []Package, deps map[string]string) {
+	t.Helper()
+	fset, files, diags := analyze(t, a, pkgs, deps)
 
 	wants := collectWants(t, fset, files)
 	for _, d := range diags {
@@ -94,6 +92,75 @@ func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string, deps map[string]st
 			}
 		}
 	}
+}
+
+// Diagnostics runs the analyzer over pkgs like RunPackages but returns the
+// raw diagnostics instead of checking // want comments. Tests use it to
+// assert cross-analyzer properties, e.g. that walltime reports nothing on a
+// package where nondetflow fires.
+func Diagnostics(t *testing.T, a *lint.Analyzer, pkgs []Package, deps map[string]string) []lint.Diagnostic {
+	t.Helper()
+	_, _, diags := analyze(t, a, pkgs, deps)
+	return diags
+}
+
+// analyze is the shared engine: hermetic type-checking of pkgs in order, one
+// Pass per package with facts threaded through a lint.FactSet, diagnostics
+// collected from in-scope reporting passes (including unused-suppression
+// findings, mirroring the real drivers).
+func analyze(t *testing.T, a *lint.Analyzer, pkgs []Package, deps map[string]string) (*token.FileSet, []*ast.File, []lint.Diagnostic) {
+	t.Helper()
+	allDeps := make(map[string]string, len(deps)+len(pkgs))
+	for k, v := range deps {
+		allDeps[k] = v
+	}
+	for _, p := range pkgs {
+		allDeps[p.Path] = p.Dir
+	}
+	fset := token.NewFileSet()
+	imp := &fakeImporter{fset: fset, deps: allDeps, loaded: map[string]*types.Package{}}
+
+	facts := lint.FactSet{}
+	var allFiles []*ast.File
+	var diags []lint.Diagnostic
+	for _, p := range pkgs {
+		files, pkg, info, err := imp.check(p.Path, p.Dir)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", p.Dir, err)
+		}
+		allFiles = append(allFiles, files...)
+		norm := lint.NormalizePkgPath(p.Path)
+		inScope := a.Scope == nil || a.Scope(norm)
+		if !inScope && !a.UsesFacts {
+			continue
+		}
+		pass := &lint.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			PkgPath:   norm,
+			FactsOnly: !inScope,
+			Report:    func(d lint.Diagnostic) { diags = append(diags, d) },
+			ReadFacts: func(pkgPath string) json.RawMessage {
+				return facts.Read(a.Name, pkgPath)
+			},
+			ExportFacts: func(payload json.RawMessage) {
+				facts.Set(a.Name, norm, payload)
+			},
+		}
+		if !inScope {
+			pass.Report = func(lint.Diagnostic) {}
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if inScope {
+			pass.ReportUnusedSuppressions()
+		}
+	}
+	return fset, allFiles, diags
 }
 
 type lineKey struct {

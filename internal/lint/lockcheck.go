@@ -1,0 +1,698 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockCheck enforces declared lock discipline in the concurrent layers. A
+// struct field (or package-level variable) annotated
+//
+//	//ldslint:guardedby <mutexName>
+//
+// must only be read or written while that mutex is held: a Lock/RLock on the
+// same receiver expression dominating the access, with defer-Unlock
+// understood, and a write requires the exclusive lock (RLock is
+// read-only). Two helper contracts extend the discipline across calls:
+// a function named with a `Locked` suffix implicitly requires every mutex
+// field of its receiver, and `//ldslint:holds <mu>` on a function's doc
+// comment declares the same explicitly; call sites of either are checked.
+//
+// The tracking is a conservative lexical walk, not a CFG: lock state flows
+// forward through a block; a branch's acquisitions do not escape it, and a
+// branch's releases do — except when the branch terminates (return / panic /
+// break / continue), which is what makes the pervasive
+//
+//	mu.Lock()
+//	if done { mu.Unlock(); return }
+//	guarded access ...
+//
+// pattern check clean. Function literals are separate scopes: a goroutine
+// does not inherit its creator's locks. Aliased receivers
+// (`c := b; ... c.field`) are reported conservatively — the checker matches
+// the lock's receiver expression textually. `//ldslint:lockcheck <reason>`
+// suppresses a finding.
+var LockCheck = &Analyzer{
+	Name:  "lockcheck",
+	Doc:   "checks //ldslint:guardedby fields are only accessed with their mutex held (defer-aware, RLock=read-only); //ldslint:holds and *Locked suffix declare caller-held contracts",
+	Scope: suffixScope(lockcheckPackages...),
+	Run:   runLockCheck,
+}
+
+// lockKey identifies one mutex instance: the mutex field or variable object
+// plus the rendered owner expression ("s" in s.mu; "" for package-level
+// mutex variables).
+type lockKey struct {
+	mutex types.Object
+	base  string
+}
+
+// heldSet maps held mutexes to their mode: true = exclusive, false = read.
+type heldSet map[lockKey]bool
+
+func (h heldSet) clone() heldSet {
+	m := make(heldSet, len(h))
+	for k, v := range h {
+		m[k] = v
+	}
+	return m
+}
+
+// intersect narrows h to the locks still held after a branch with state
+// other: locks the branch released are removed, locks it downgraded weaken.
+func (h heldSet) intersect(other heldSet) {
+	for k, v := range h {
+		ov, ok := other[k]
+		switch {
+		case !ok:
+			delete(h, k)
+		case v && !ov:
+			h[k] = false
+		}
+	}
+}
+
+type lockCheck struct {
+	pass *Pass
+	// guards maps an annotated field/variable object to its mutex object.
+	guards map[types.Object]types.Object
+	// required maps functions to the mutexes they need held at call time
+	// (//ldslint:holds or the *Locked naming convention).
+	required map[*types.Func][]types.Object
+}
+
+func runLockCheck(pass *Pass) error {
+	lc := &lockCheck{
+		pass:     pass,
+		guards:   map[types.Object]types.Object{},
+		required: map[*types.Func][]types.Object{},
+	}
+	for _, f := range pass.Files {
+		lc.collectGuards(f)
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				lc.collectRequirements(fd)
+			}
+		}
+	}
+	if len(lc.guards) == 0 && len(lc.required) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				lc.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+// declAnnotation finds a //ldslint:<marker> comment in any of the groups
+// (a declaration's doc comment or trailing comment).
+func declAnnotation(groups []*ast.CommentGroup, marker string) (reason string, pos token.Pos, ok bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if a := parseAnnotation(c); a != nil && a.marker == marker {
+				return a.reason, a.pos, true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly via
+// pointer).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// collectGuards records every //ldslint:guardedby annotation in f, reporting
+// annotations that name no mutex (a typo'd guard is a silent hole).
+func (lc *lockCheck) collectGuards(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			lc.structGuards(n)
+		case *ast.GenDecl:
+			if n.Tok == token.VAR {
+				lc.varGuards(n)
+			}
+		}
+		return true
+	})
+}
+
+func (lc *lockCheck) structGuards(st *ast.StructType) {
+	pass := lc.pass
+	for _, field := range st.Fields.List {
+		reason, pos, ok := declAnnotation([]*ast.CommentGroup{field.Doc, field.Comment}, "guardedby")
+		if !ok {
+			continue
+		}
+		mutexName := firstField(reason)
+		if mutexName == "" {
+			pass.Reportf(pos, "//ldslint:guardedby requires the guarding mutex field's name")
+			continue
+		}
+		var mutexObj types.Object
+		for _, mf := range st.Fields.List {
+			for _, name := range mf.Names {
+				if name.Name == mutexName {
+					mutexObj = pass.TypesInfo.Defs[name]
+				}
+			}
+		}
+		if mutexObj == nil {
+			pass.Reportf(pos, "//ldslint:guardedby %s names no field of this struct", mutexName)
+			continue
+		}
+		if !isMutexType(mutexObj.Type()) {
+			pass.Reportf(pos, "//ldslint:guardedby %s: field %s is not a sync.Mutex or sync.RWMutex", mutexName, mutexName)
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				lc.guards[obj] = mutexObj
+			}
+		}
+	}
+}
+
+func (lc *lockCheck) varGuards(gd *ast.GenDecl) {
+	pass := lc.pass
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		groups := []*ast.CommentGroup{vs.Doc, vs.Comment}
+		if len(gd.Specs) == 1 {
+			groups = append(groups, gd.Doc)
+		}
+		reason, pos, ok := declAnnotation(groups, "guardedby")
+		if !ok {
+			continue
+		}
+		mutexName := firstField(reason)
+		if mutexName == "" {
+			pass.Reportf(pos, "//ldslint:guardedby requires the guarding mutex variable's name")
+			continue
+		}
+		mutexObj, _ := pass.Pkg.Scope().Lookup(mutexName).(*types.Var)
+		if mutexObj == nil {
+			pass.Reportf(pos, "//ldslint:guardedby %s names no package-level variable", mutexName)
+			continue
+		}
+		if !isMutexType(mutexObj.Type()) {
+			pass.Reportf(pos, "//ldslint:guardedby %s: %s is not a sync.Mutex or sync.RWMutex", mutexName, mutexName)
+			continue
+		}
+		for _, name := range vs.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				lc.guards[obj] = mutexObj
+			}
+		}
+	}
+}
+
+// collectRequirements records fd's caller-held contract: //ldslint:holds
+// names, plus every receiver mutex field when the name ends in "Locked".
+func (lc *lockCheck) collectRequirements(fd *ast.FuncDecl) {
+	pass := lc.pass
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	recvFields := receiverFields(pass, fd)
+	var req []types.Object
+	if reason, pos, ok := declAnnotation([]*ast.CommentGroup{fd.Doc}, "holds"); ok {
+		for _, name := range strings.FieldsFunc(reason, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t'
+		}) {
+			var mu types.Object
+			if recvFields != nil {
+				mu = recvFields[name]
+			}
+			if mu == nil {
+				if v, ok := pass.Pkg.Scope().Lookup(name).(*types.Var); ok {
+					mu = v
+				}
+			}
+			if mu == nil || !isMutexType(mu.Type()) {
+				pass.Reportf(pos, "//ldslint:holds %s names no mutex field or package-level mutex", name)
+				continue
+			}
+			req = append(req, mu)
+		}
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		for _, obj := range recvFields {
+			if isMutexType(obj.Type()) {
+				req = append(req, obj)
+			}
+		}
+	}
+	if len(req) > 0 {
+		lc.required[fn] = req
+	}
+}
+
+// receiverFields maps field names of fd's receiver struct to their objects,
+// or nil for non-methods.
+func receiverFields(pass *Pass, fd *ast.FuncDecl) map[string]types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := map[string]types.Object{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		out[f.Name()] = f
+	}
+	return out
+}
+
+// checkFunc walks one function body tracking held locks.
+func (lc *lockCheck) checkFunc(fd *ast.FuncDecl) {
+	pass := lc.pass
+	held := heldSet{}
+	if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		if req := lc.required[fn]; len(req) > 0 {
+			recvName := ""
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				recvName = fd.Recv.List[0].Names[0].Name
+			}
+			for _, mu := range req {
+				base := ""
+				if v, ok := mu.(*types.Var); ok && v.IsField() {
+					if recvName == "" {
+						continue
+					}
+					base = recvName
+				}
+				held[lockKey{mu, base}] = true
+			}
+		}
+	}
+	lc.block(fd.Body.List, held)
+}
+
+func (lc *lockCheck) block(list []ast.Stmt, held heldSet) {
+	for _, s := range list {
+		lc.stmt(s, held)
+	}
+}
+
+func (lc *lockCheck) stmt(s ast.Stmt, held heldSet) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if key, op, ok := lc.lockOp(s.X); ok {
+			switch op {
+			case "Lock":
+				held[key] = true
+			case "RLock":
+				held[key] = false
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		lc.expr(s.X, held)
+	case *ast.DeferStmt:
+		if _, op, ok := lc.lockOp(s.Call); ok {
+			_ = op // deferred Unlock: the lock stays held to the end; a
+			return // deferred Lock would be a bug but not an access hazard
+		}
+		lc.expr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			lc.expr(r, held)
+		}
+		for _, l := range s.Lhs {
+			lc.writeTarget(l, held)
+		}
+	case *ast.IncDecStmt:
+		lc.writeTarget(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lc.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		lc.stmt(s.Init, held)
+		lc.expr(s.Cond, held)
+		thenHeld := held.clone()
+		lc.block(s.Body.List, thenHeld)
+		if !blockTerminates(s.Body.List) {
+			held.intersect(thenHeld)
+		}
+		if s.Else != nil {
+			elseHeld := held.clone()
+			lc.stmt(s.Else, elseHeld)
+			if !stmtTerminates(s.Else) {
+				held.intersect(elseHeld)
+			}
+		}
+	case *ast.BlockStmt:
+		lc.block(s.List, held)
+	case *ast.ForStmt:
+		lc.stmt(s.Init, held)
+		lc.expr(s.Cond, held)
+		body := held.clone()
+		lc.block(s.Body.List, body)
+		lc.stmt(s.Post, body)
+		held.intersect(body)
+	case *ast.RangeStmt:
+		lc.expr(s.X, held)
+		body := held.clone()
+		if s.Tok == token.ASSIGN {
+			lc.writeTarget(s.Key, body)
+			lc.writeTarget(s.Value, body)
+		}
+		lc.block(s.Body.List, body)
+		held.intersect(body)
+	case *ast.SwitchStmt:
+		lc.stmt(s.Init, held)
+		lc.expr(s.Tag, held)
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				lc.expr(e, held)
+			}
+			cl := held.clone()
+			lc.block(cc.Body, cl)
+			if !blockTerminates(cc.Body) {
+				held.intersect(cl)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		lc.stmt(s.Init, held)
+		lc.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			cl := held.clone()
+			lc.block(cc.Body, cl)
+			if !blockTerminates(cc.Body) {
+				held.intersect(cl)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cl := held.clone()
+			lc.stmt(cc.Comm, cl)
+			lc.block(cc.Body, cl)
+			if !blockTerminates(cc.Body) {
+				held.intersect(cl)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			lc.expr(r, held)
+		}
+	case *ast.GoStmt:
+		lc.expr(s.Call, held)
+	case *ast.SendStmt:
+		lc.expr(s.Chan, held)
+		lc.expr(s.Value, held)
+	case *ast.LabeledStmt:
+		lc.stmt(s.Stmt, held)
+	}
+}
+
+// stmtTerminates conservatively reports whether control cannot flow past s.
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return blockTerminates(s.List)
+	case *ast.IfStmt:
+		return s.Else != nil && blockTerminates(s.Body.List) && stmtTerminates(s.Else)
+	}
+	return false
+}
+
+func blockTerminates(list []ast.Stmt) bool {
+	return len(list) > 0 && stmtTerminates(list[len(list)-1])
+}
+
+// lockOp classifies e as a Lock/RLock/Unlock/RUnlock call on a mutex.
+func (lc *lockCheck) lockOp(e ast.Expr) (lockKey, string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	t := lc.pass.TypesInfo.TypeOf(sel.X)
+	if t == nil || !isMutexType(t) {
+		return lockKey{}, "", false
+	}
+	key, ok := lc.mutexKey(sel.X)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	return key, op, true
+}
+
+// mutexKey identifies the mutex instance an expression denotes.
+func (lc *lockCheck) mutexKey(e ast.Expr) (lockKey, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := lc.pass.TypesInfo.ObjectOf(e); obj != nil {
+			return lockKey{obj, ""}, true
+		}
+	case *ast.SelectorExpr:
+		if obj := lc.pass.TypesInfo.ObjectOf(e.Sel); obj != nil {
+			return lockKey{obj, types.ExprString(e.X)}, true
+		}
+	}
+	return lockKey{}, false
+}
+
+// expr checks every guarded read inside e. Function literals get fresh, empty
+// lock state; composite-literal keys are field names, not accesses.
+func (lc *lockCheck) expr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lc.block(n.Body.List, heldSet{})
+			return false
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					lc.expr(kv.Value, held)
+				} else {
+					lc.expr(el, held)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			lc.callDiscipline(n, held)
+		case *ast.SelectorExpr:
+			lc.fieldAccess(n, held, false)
+		case *ast.Ident:
+			lc.varAccess(n, held, false)
+		}
+		return true
+	})
+}
+
+// writeTarget checks l as the destination of an assignment: the guarded
+// selector or variable at its core is a write; index/slice expressions along
+// the way are reads.
+func (lc *lockCheck) writeTarget(l ast.Expr, held heldSet) {
+	if l == nil {
+		return
+	}
+	x := l
+unwrap:
+	for {
+		switch v := x.(type) {
+		case *ast.ParenExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		case *ast.IndexExpr:
+			lc.expr(v.Index, held)
+			x = v.X
+		case *ast.SliceExpr:
+			lc.expr(v.Low, held)
+			lc.expr(v.High, held)
+			lc.expr(v.Max, held)
+			x = v.X
+		default:
+			break unwrap
+		}
+	}
+	switch v := x.(type) {
+	case *ast.SelectorExpr:
+		lc.fieldAccess(v, held, true)
+		lc.expr(v.X, held)
+	case *ast.Ident:
+		lc.varAccess(v, held, true)
+	default:
+		lc.expr(x, held)
+	}
+}
+
+// fieldAccess reports a guarded struct-field access without its mutex held
+// (or written under a read lock).
+func (lc *lockCheck) fieldAccess(sel *ast.SelectorExpr, held heldSet, write bool) {
+	pass := lc.pass
+	obj := pass.TypesInfo.ObjectOf(sel.Sel)
+	mu := lc.guards[obj]
+	if mu == nil {
+		return
+	}
+	base := types.ExprString(sel.X)
+	lc.reportAccess(sel, held, lockKey{mu, base}, write,
+		types.ExprString(sel), base+"."+mu.Name())
+}
+
+// varAccess reports a guarded package-variable access without its mutex
+// held. Struct fields are handled at selector granularity.
+func (lc *lockCheck) varAccess(id *ast.Ident, held heldSet, write bool) {
+	pass := lc.pass
+	v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	mu := lc.guards[v]
+	if mu == nil {
+		return
+	}
+	lc.reportAccess(id, held, lockKey{mu, ""}, write, id.Name, mu.Name())
+}
+
+func (lc *lockCheck) reportAccess(n ast.Node, held heldSet, key lockKey, write bool, access, mutex string) {
+	pass := lc.pass
+	exclusive, ok := held[key]
+	if !ok {
+		if !pass.Suppressed(n, "lockcheck") {
+			verb := "read"
+			if write {
+				verb = "write to"
+			}
+			pass.Reportf(n.Pos(),
+				"%s %s without holding %s (//ldslint:guardedby %s); Lock it, or annotate //ldslint:lockcheck <reason>",
+				verb, access, mutex, key.mutex.Name())
+		}
+		return
+	}
+	if write && !exclusive {
+		if !pass.Suppressed(n, "lockcheck") {
+			pass.Reportf(n.Pos(),
+				"write to %s under %s.RLock (read lock); the write requires the exclusive Lock",
+				access, mutex)
+		}
+	}
+}
+
+// callDiscipline checks calls to functions with a caller-held contract
+// (*Locked suffix or //ldslint:holds).
+func (lc *lockCheck) callDiscipline(call *ast.CallExpr, held heldSet) {
+	pass := lc.pass
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	req := lc.required[fn]
+	if len(req) == 0 {
+		return
+	}
+	recvBase := ""
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		recvBase = types.ExprString(sel.X)
+	}
+	for _, mu := range req {
+		key := lockKey{mu, ""}
+		display := mu.Name()
+		if v, ok := mu.(*types.Var); ok && v.IsField() {
+			key.base = recvBase
+			display = recvBase + "." + mu.Name()
+		}
+		if _, ok := held[key]; !ok {
+			if !pass.Suppressed(call, "lockcheck") {
+				pass.Reportf(call.Pos(),
+					"%s requires the caller to hold %s (Locked-suffix/holds contract), which is not held here",
+					fn.Name(), display)
+			}
+			return
+		}
+	}
+}
+
+// firstField returns the first whitespace-separated token of s.
+func firstField(s string) string {
+	fs := strings.Fields(s)
+	if len(fs) == 0 {
+		return ""
+	}
+	return fs[0]
+}

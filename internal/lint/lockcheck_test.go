@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/lint"
+	"ldsprefetch/internal/lint/linttest"
+)
+
+var fakeSync = map[string]string{"sync": "testdata/fakestd/sync"}
+
+func TestLockCheck(t *testing.T) {
+	linttest.Run(t, lint.LockCheck, "testdata/lockcheck/firing",
+		"ldsprefetch/internal/jobs", fakeSync)
+}
+
+// TestLockCheckOutOfScope re-checks the same files under a package path with
+// no declared lock discipline scope: the analyzer must stay silent.
+func TestLockCheckOutOfScope(t *testing.T) {
+	pkgs := []linttest.Package{{Dir: "testdata/lockcheck/firing", Path: "ldsprefetch/internal/exp"}}
+	diags := linttest.Diagnostics(t, lint.LockCheck, pkgs, fakeSync)
+	if len(diags) != 0 {
+		t.Fatalf("out of scope: got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}

@@ -24,10 +24,11 @@ import (
 // why iteration order cannot reach simulated state, reports, or cache keys
 // (e.g. commutative integer aggregation).
 var MapOrder = &Analyzer{
-	Name:  "maporder",
-	Doc:   "flags range-over-map in determinism-sensitive packages; iterate sorted keys, use the collect-then-sort idiom, or annotate //ldslint:ordered <reason>",
-	Scope: suffixScope(servingPackages...),
-	Run:   runMapOrder,
+	Name:   "maporder",
+	Doc:    "flags range-over-map in determinism-sensitive packages; iterate sorted keys, use the collect-then-sort idiom, or annotate //ldslint:ordered <reason>",
+	Marker: "ordered",
+	Scope:  suffixScope(servingPackages...),
+	Run:    runMapOrder,
 }
 
 func runMapOrder(pass *Pass) error {

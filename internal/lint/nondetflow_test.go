@@ -1,0 +1,54 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/lint"
+	"ldsprefetch/internal/lint/linttest"
+)
+
+// nondetFlowDeps are the fake stdlib packages the nondetflow testdata needs.
+var nondetFlowDeps = map[string]string{
+	"time":      "testdata/fakestd/time",
+	"math/rand": "testdata/fakestd/rand",
+	"sort":      "testdata/fakestd/sort",
+}
+
+// nondetFlowPkgs is the three-package import chain: util (out of every scope,
+// facts-only) -> mid (re-exports util's taint) -> simcore (the sink).
+func nondetFlowPkgs(sinkPath string) []linttest.Package {
+	return []linttest.Package{
+		{Dir: "testdata/nondetflow/util", Path: "ldsprefetch/internal/util"},
+		{Dir: "testdata/nondetflow/mid", Path: "ldsprefetch/internal/mid"},
+		{Dir: "testdata/nondetflow/simcore", Path: sinkPath},
+	}
+}
+
+func TestNondetFlow(t *testing.T) {
+	linttest.RunPackages(t, lint.NondetFlow, nondetFlowPkgs("ldsprefetch/internal/memsys"), nondetFlowDeps)
+}
+
+// TestNondetFlowOutOfScope re-checks the same sink file under a command
+// import path: no package is in the sink scope, so nothing is reported even
+// though facts still flow.
+func TestNondetFlowOutOfScope(t *testing.T) {
+	diags := linttest.Diagnostics(t, lint.NondetFlow, nondetFlowPkgs("ldsprefetch/cmd/ldssim"), nondetFlowDeps)
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope sink: got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
+// TestNondetFlowCatchesWhatWallTimeMisses is the blind-spot proof: walltime
+// sees only the sink package's own syntax, which never touches time.* or
+// rand.*, so it reports nothing — while nondetflow, fed by the helper
+// packages' facts, flags six tainted calls in the same files.
+func TestNondetFlowCatchesWhatWallTimeMisses(t *testing.T) {
+	pkgs := nondetFlowPkgs("ldsprefetch/internal/memsys")
+	if diags := linttest.Diagnostics(t, lint.WallTime, pkgs, nondetFlowDeps); len(diags) != 0 {
+		t.Fatalf("walltime unexpectedly reported on the taint chain: %v", diags)
+	}
+	diags := linttest.Diagnostics(t, lint.NondetFlow, pkgs, nondetFlowDeps)
+	if len(diags) < 6 {
+		t.Fatalf("nondetflow found %d cross-package taint flows, want >= 6: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,22 @@
+// Package sync is a hermetic stand-in for stdlib sync in analyzer tests:
+// the lockcheck analyzer keys on the import path, the Mutex/RWMutex type
+// names, and the Lock/RLock/Unlock/RUnlock method names only.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+type WaitGroup struct{ n int32 }
+
+func (wg *WaitGroup) Add(delta int) {}
+func (wg *WaitGroup) Done()         {}
+func (wg *WaitGroup) Wait()         {}

@@ -26,4 +26,5 @@ func NewTicker(d Duration) *Timer           { return &Timer{} }
 func AfterFunc(d Duration, f func()) *Timer { return &Timer{} }
 func (t Time) Sub(u Time) Duration          { return 0 }
 func (t Time) Add(d Duration) Time          { return t }
+func (t Time) UnixNano() int64              { return t.ns }
 func (d Duration) Seconds() float64         { return 0 }

@@ -1,0 +1,102 @@
+// Package jobs (pretend path) exercises lockcheck: guardedby fields and
+// package variables, RWMutex modes, defer-aware release, terminating-branch
+// unlocks, Locked-suffix / holds contracts, goroutine escapes, suppression,
+// and the conservative aliased-receiver behavior.
+package jobs
+
+import "sync"
+
+type board struct {
+	mu sync.Mutex
+	//ldslint:guardedby mu
+	tasks map[string]int
+	n     int //ldslint:guardedby mu
+	rw    sync.RWMutex
+	//ldslint:guardedby rw
+	idx []string
+}
+
+// newBoard is clean: composite-literal keys are field names, not accesses.
+func newBoard() *board {
+	return &board{tasks: map[string]int{}, n: 0}
+}
+
+func (b *board) locked() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tasks["x"] = 1
+	return b.n
+}
+
+func (b *board) unlocked() int {
+	return b.n // want `read b\.n without holding b\.mu \(//ldslint:guardedby mu\)`
+}
+
+func (b *board) afterRelease() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.n++ // want `write to b\.n without holding b\.mu`
+}
+
+// earlyReturn is the pervasive pattern: the unlocking branch terminates, so
+// its release does not escape to the fallthrough path.
+func (b *board) earlyReturn(done bool) {
+	b.mu.Lock()
+	if done {
+		b.mu.Unlock()
+		return
+	}
+	b.n++
+	b.mu.Unlock()
+}
+
+// branchUnlock without termination does escape: the lock may no longer be
+// held after the if.
+func (b *board) branchUnlock(flaky bool) {
+	b.mu.Lock()
+	if flaky {
+		b.mu.Unlock()
+	}
+	b.n++ // want `write to b\.n without holding b\.mu`
+}
+
+func (b *board) readShared() string {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.idx[0]
+}
+
+func (b *board) writeUnderRead() {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	b.idx = nil // want `write to b\.idx under b\.rw\.RLock \(read lock\); the write requires the exclusive Lock`
+}
+
+// spawn: a goroutine does not inherit its creator's locks.
+func (b *board) spawn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.n++ // want `write to b\.n without holding b\.mu`
+	}()
+	b.n++
+}
+
+// alias pins the conservative textual matching: the checker does not track
+// that c and b are the same receiver.
+func alias(b *board) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b
+	c.n++ // want `write to c\.n without holding c\.mu`
+}
+
+func (b *board) suppressed() int {
+	//ldslint:lockcheck only called from init before any goroutine starts
+	return b.n
+}
+
+func (b *board) reasonless() int {
+	return b.n //ldslint:lockcheck // want `annotation requires a reason`
+}

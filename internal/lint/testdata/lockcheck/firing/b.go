@@ -1,0 +1,61 @@
+package jobs
+
+import "sync"
+
+// counter exercises the caller-held contracts.
+type counter struct {
+	mu sync.Mutex
+	//ldslint:guardedby mu
+	hits int
+}
+
+// bumpLocked's name suffix declares that callers hold c.mu.
+func (c *counter) bumpLocked() { c.hits++ }
+
+// reset declares the same contract explicitly.
+//
+//ldslint:holds mu
+func (c *counter) reset() { c.hits = 0 }
+
+func (c *counter) callsHeld() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+	c.reset()
+}
+
+func (c *counter) callsUnheld() {
+	c.bumpLocked() // want `bumpLocked requires the caller to hold c\.mu \(Locked-suffix/holds contract\), which is not held here`
+	c.reset()      // want `reset requires the caller to hold c\.mu`
+}
+
+//ldslint:holds nosuchmu // want `//ldslint:holds nosuchmu names no mutex field or package-level mutex`
+func (c *counter) typoContract() {}
+
+// badDecl exercises the guard-declaration error paths.
+type badDecl struct {
+	//ldslint:guardedby nosuch // want `//ldslint:guardedby nosuch names no field of this struct`
+	a int
+	//ldslint:guardedby b // want `//ldslint:guardedby b: field b is not a sync\.Mutex or sync\.RWMutex`
+	c int
+	b int
+	//ldslint:guardedby // want `//ldslint:guardedby requires the guarding mutex field's name`
+	d int
+}
+
+var regMu sync.Mutex
+
+// reg is the process-wide registry.
+//
+//ldslint:guardedby regMu
+var reg = map[string]int{}
+
+func Register(k string, v int) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	reg[k] = v
+}
+
+func Peek(k string) int {
+	return reg[k] // want `read reg without holding regMu`
+}

@@ -94,3 +94,12 @@ func sliceRange(s []int) {
 		sink += v
 	}
 }
+
+// A stale suppression — no maporder diagnostic fires on a slice range — is
+// itself reported, so escape hatches cannot outlive their findings.
+func staleSuppression(s []int) {
+	//ldslint:ordered stale: this stopped ranging over a map long ago // want `unused suppression: no maporder diagnostic fires here anymore; delete the //ldslint:ordered annotation`
+	for _, v := range s {
+		sink += v
+	}
+}

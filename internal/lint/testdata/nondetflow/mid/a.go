@@ -1,0 +1,14 @@
+// Package mid launders util's nondeterminism through a second package
+// boundary: only the exported facts make the taint visible to importers.
+package mid
+
+import "ldsprefetch/internal/util"
+
+// WrappedSeed is wall-clock tainted purely via util's facts.
+func WrappedSeed() int64 { return util.ClockSeed() + 1 }
+
+// WrappedKeys is map-order tainted via util's facts.
+func WrappedKeys(m map[string]int) []string { return util.RawKeys(m) }
+
+// Size stays clean: util.Count is untainted.
+func Size(m map[string]int) int { return util.Count(m) }

@@ -1,0 +1,59 @@
+// Package memsys is checked under a simulator-core import path: it is a
+// nondetflow sink, so calls to imported functions whose facts say "tainted"
+// are findings here.
+package memsys
+
+import (
+	"ldsprefetch/internal/mid"
+	"ldsprefetch/internal/util"
+)
+
+func Seed() int64 {
+	return util.ClockSeed() // want `util\.ClockSeed returns a value derived from the wall clock \(via time\.Now\)`
+}
+
+func TwoHopSeed() int64 {
+	return mid.WrappedSeed() // want `mid\.WrappedSeed returns a value derived from the wall clock \(via util\.ClockSeed ← time\.Now\)`
+}
+
+func Choose(n int) int {
+	return util.Pick(n) // want `util\.Pick returns a value derived from process-global randomness \(via rand\.Intn\)`
+}
+
+func Keys(m map[string]int) []string {
+	return util.RawKeys(m) // want `util\.RawKeys returns a value derived from map iteration order \(via map iteration in RawKeys\)`
+}
+
+func TwoHopKeys(m map[string]int) []string {
+	return mid.WrappedKeys(m) // want `mid\.WrappedKeys returns a value derived from map iteration order \(via util\.RawKeys ← map iteration in RawKeys\)`
+}
+
+func IndirectSeed() int64 {
+	return util.Chained() // want `util\.Chained returns a value derived from the wall clock \(via util\.ClockSeed ← time\.Now\)`
+}
+
+// CleanKeys is fine: SortedKeys sheds map-order taint via sort.Strings.
+func CleanKeys(m map[string]int) []string {
+	return util.SortedKeys(m)
+}
+
+// CleanStamp is fine: the source carries //ldslint:walltime, so util.Stamp
+// exports no fact.
+func CleanStamp() int64 {
+	return util.Stamp()
+}
+
+// CleanSize is fine through two package hops: util.Count is deterministic.
+func CleanSize(m map[string]int) int {
+	return mid.Size(m)
+}
+
+// SuppressedSeed shows the escape hatch at the sink.
+func SuppressedSeed() int64 {
+	//ldslint:nondetflow one-shot debug banner; value never enters results
+	return util.ClockSeed()
+}
+
+func ReasonlessSeed() int64 {
+	return util.ClockSeed() //ldslint:nondetflow // want `annotation requires a reason`
+}

@@ -1,0 +1,55 @@
+// Package util plays an out-of-every-scope helper package: walltime and
+// maporder never look at it, so its nondeterministic returns are exactly the
+// blind spot the nondetflow facts close.
+package util
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ClockSeed derives its result from the wall clock.
+func ClockSeed() int64 { return time.Now().UnixNano() }
+
+// Pick draws from the process-global random source.
+func Pick(n int) int { return rand.Intn(n) }
+
+// RawKeys aggregates map keys in iteration order.
+func RawKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the collect-then-sort idiom: the sort erases iteration
+// order, so the result is deterministic.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stamp reads the clock under an annotation certifying it cannot reach
+// results, so it is not tainted.
+func Stamp() int64 {
+	//ldslint:walltime provenance stamp only; never enters results or keys
+	return time.Now().UnixNano()
+}
+
+// Chained launders ClockSeed through an intra-package call.
+func Chained() int64 { return ClockSeed() + 1 }
+
+// Count is a plain deterministic helper.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -84,18 +84,29 @@ type dispatcher struct {
 	ttl time.Duration
 	now func() time.Time // injectable clock for expiry tests
 
-	mu           sync.Mutex
-	pending      []*dispTask          // FIFO dispatch order
-	tasks        map[string]*dispTask // open (pending or leased) tasks
-	done         map[string]doneTask  // completed tasks, for late-push triage
-	leases       map[string]*dispLease
-	workers      map[string]*workerStats
-	nextTask     int
-	nextLease    int
-	draining     bool
-	closed       bool
+	mu sync.Mutex
+	//ldslint:guardedby mu
+	pending []*dispTask // FIFO dispatch order
+	//ldslint:guardedby mu
+	tasks map[string]*dispTask // open (pending or leased) tasks
+	//ldslint:guardedby mu
+	done map[string]doneTask // completed tasks, for late-push triage
+	//ldslint:guardedby mu
+	leases map[string]*dispLease
+	//ldslint:guardedby mu
+	workers map[string]*workerStats
+	//ldslint:guardedby mu
+	nextTask int
+	//ldslint:guardedby mu
+	nextLease int
+	//ldslint:guardedby mu
+	draining bool
+	//ldslint:guardedby mu
+	closed bool
+	//ldslint:guardedby mu
 	redispatched int64 // tasks re-queued after lease expiry or release
-	conflicts    int64 // pushed results disagreeing with the accepted one
+	//ldslint:guardedby mu
+	conflicts int64 // pushed results disagreeing with the accepted one
 }
 
 func newDispatcher(ttl time.Duration) *dispatcher {
@@ -140,6 +151,8 @@ func (d *dispatcher) RunTask(t jobs.TaskSpec) (json.RawMessage, error) {
 
 // stat returns (creating if needed) the counters for worker id, stamping
 // LastSeen. Caller holds mu.
+//
+//ldslint:holds mu
 func (d *dispatcher) stat(worker string) *workerStats {
 	ws := d.workers[worker]
 	if ws == nil {
@@ -395,7 +408,7 @@ func (d *dispatcher) close() {
 	d.closed = true
 	d.draining = true
 	var ids []string
-	for id := range d.tasks { //ldslint:ordered collected then sorted below
+	for id := range d.tasks {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -449,7 +462,7 @@ func (d *dispatcher) snapshot() dispSnapshot {
 		active[l.worker]++
 	}
 	ids := make([]string, 0, len(d.workers))
-	for id := range d.workers { //ldslint:ordered collected then sorted below
+	for id := range d.workers {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)

@@ -62,10 +62,14 @@ type Server struct {
 	slots    chan struct{}
 	dispatch *dispatcher // non-nil in coordinator mode
 
-	mu       sync.Mutex
-	sweeps   map[string]*sweep
-	order    []string
-	nextID   int
+	mu sync.Mutex
+	//ldslint:guardedby mu
+	sweeps map[string]*sweep
+	//ldslint:guardedby mu
+	order []string
+	//ldslint:guardedby mu
+	nextID int
+	//ldslint:guardedby mu
 	draining bool
 	running  sync.WaitGroup // one count per in-flight runSweep goroutine
 }
@@ -125,12 +129,17 @@ type sweep struct {
 	req   sweepRequest
 	sched *jobs.Scheduler
 
-	mu         sync.Mutex
-	state      string // "queued", "running", "done"
-	errMsg     string
+	mu sync.Mutex
+	//ldslint:guardedby mu
+	state string // "queued", "running", "done"
+	//ldslint:guardedby mu
+	errMsg string
+	//ldslint:guardedby mu
 	failedJobs []string
-	reports    []exp.Report
-	created    time.Time
+	//ldslint:guardedby mu
+	reports []exp.Report
+	//ldslint:guardedby mu
+	created time.Time
 }
 
 func (sw *sweep) setState(st string) {
@@ -669,7 +678,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	keys := make([]string, 0, len(states))
-	for k := range states { //ldslint:ordered keys sorted before rendering
+	for k := range states {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

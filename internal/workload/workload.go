@@ -71,7 +71,8 @@ type Generator struct {
 // resolve names concurrently.
 var (
 	registryMu sync.RWMutex
-	registry   = map[string]Generator{}
+	//ldslint:guardedby registryMu
+	registry = map[string]Generator{}
 )
 
 // paperOrder is the benchmark order of the paper's Tables 1 and 6, followed
@@ -220,8 +221,10 @@ type buildEntry struct {
 }
 
 var (
-	buildMu    sync.Mutex
+	buildMu sync.Mutex
+	//ldslint:guardedby buildMu
 	buildCache = map[buildKey]*buildEntry{}
+	//ldslint:guardedby buildMu
 	buildOrder []buildKey
 )
 
