@@ -1,5 +1,5 @@
 // Command ldsbench runs the repository's benchmark set through
-// testing.Benchmark and emits a versioned JSON artifact (BENCH_PR8.json by
+// testing.Benchmark and emits a versioned JSON artifact (BENCH_PR10.json by
 // default) recording ns/op, B/op, allocs/op, and simulated-accesses/sec per
 // benchmark, plus the metadata needed to compare runs over time (schema
 // version, workload scale, Go version). CI runs the short set on every push
@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	ldsbench                      # short set -> BENCH_PR8.json
+//	ldsbench                      # short set -> BENCH_PR10.json
 //	ldsbench -set full -out -     # every paper artifact, JSON to stdout
 package main
 
@@ -79,10 +79,14 @@ type artifact struct {
 	// seed).
 	BaselinePR4 []baselineRow `json:"baseline_pr4"`
 	// BaselinePR5 holds the PR 5 tree's measurements (identical scale and
-	// seed), the immediate reference point for this PR's trajectory. The
-	// mix4_* rows have no PR 5 counterpart: multi-core mixes first became a
-	// benchmarked surface with the epoch-barrier engine.
+	// seed). The mix4_* rows have no PR 5 counterpart: multi-core mixes
+	// first became a benchmarked surface with the epoch-barrier engine.
 	BaselinePR5 []baselineRow `json:"baseline_pr5"`
+	// BaselinePR8 holds the PR 8 tree's measurements (identical scale and
+	// seed), the immediate reference point for this PR's trajectory. The
+	// sim_hybrid_* core-model rows have no PR 8 counterpart: the core seam
+	// is new in PR 10.
+	BaselinePR8 []baselineRow `json:"baseline_pr8"`
 }
 
 // baselinePR2 are the PR 2 measurements at scale 0.15, seed 1.
@@ -120,6 +124,18 @@ var baselinePR5 = []baselineRow{
 	{Name: "sim_proposal", NsPerOp: 71906528, BytesPerOp: 8992025, AllocsPerOp: 152},
 	{Name: "profile_pass", NsPerOp: 55651405, BytesPerOp: 5489137, AllocsPerOp: 77},
 	{Name: "fig1", NsPerOp: 2999402562, BytesPerOp: 1254785968, AllocsPerOp: 55733},
+}
+
+// baselinePR8 are the PR 8 measurements at scale 0.15, seed 1 (the short
+// set, from BENCH_PR8.json).
+var baselinePR8 = []baselineRow{
+	{Name: "sim_baseline", NsPerOp: 46747291, BytesPerOp: 5526498, AllocsPerOp: 65},
+	{Name: "sim_cdp", NsPerOp: 77143657, BytesPerOp: 5526850, AllocsPerOp: 71},
+	{Name: "sim_proposal", NsPerOp: 80590923, BytesPerOp: 9025081, AllocsPerOp: 154},
+	{Name: "profile_pass", NsPerOp: 64157795, BytesPerOp: 5505665, AllocsPerOp: 78},
+	{Name: "mix4_serial", NsPerOp: 286213033, BytesPerOp: 23246424, AllocsPerOp: 40856},
+	{Name: "mix4_parallel", NsPerOp: 397681546, BytesPerOp: 24333226, AllocsPerOp: 88363},
+	{Name: "fig1", NsPerOp: 3774410583, BytesPerOp: 1097287936, AllocsPerOp: 49254},
 }
 
 func experimentBench(id string) func(b *testing.B, in lds.Input) {
@@ -202,6 +218,37 @@ func mixBench(engine string) benchmark {
 	}
 }
 
+// coreBench measures one single-core run of the stream+cdp+throttle
+// configuration on mst under the named core timing model.
+func coreBench(core string) benchmark {
+	spec := func() sim.Spec {
+		sp := sim.NewSpec("stream+cdp+thr", "stream", "cdp", "throttle")
+		return sp.WithCore(core, nil)
+	}
+	run := func(in lds.Input) (sim.Result, error) {
+		return sim.RunSingleSpec("mst", in, spec())
+	}
+	return benchmark{
+		name:  "sim_hybrid_" + core,
+		short: true,
+		run: func(b *testing.B, in lds.Input) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		accesses: func(in lds.Input) int64 {
+			res, err := run(in)
+			if err != nil {
+				return 0
+			}
+			return res.Mem.Accesses
+		},
+	}
+}
+
 func benchmarks() []benchmark {
 	var out []benchmark
 
@@ -235,6 +282,12 @@ func benchmarks() []benchmark {
 
 	out = append(out, mixBench(sim.EngineSerial), mixBench(sim.EngineParallel))
 
+	// Core-model pair: the same hybrid configuration under the default
+	// interval core and the speculative ooo core. The ns/op ratio prices
+	// the out-of-order model (branch prediction + wrong-path traffic);
+	// the interval row must track sim_cdp's trajectory.
+	out = append(out, coreBench("interval"), coreBench("ooo"))
+
 	// Paper artifacts. fig1 is in the short set: it is the headline artifact
 	// and the alloc-trajectory acceptance gate.
 	shortExps := map[string]bool{"fig1": true}
@@ -247,7 +300,7 @@ func benchmarks() []benchmark {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR8.json", "output path (- for stdout)")
+	out := flag.String("out", "BENCH_PR10.json", "output path (- for stdout)")
 	set := flag.String("set", "short", "benchmark set: short (CI) or full (every artifact)")
 	scale := flag.Float64("scale", lds.BenchScale, "workload input scale")
 	seed := flag.Int64("seed", 1, "workload input seed")
@@ -271,6 +324,7 @@ func main() {
 		BaselinePR3:   baselinePR3,
 		BaselinePR4:   baselinePR4,
 		BaselinePR5:   baselinePR5,
+		BaselinePR8:   baselinePR8,
 	}
 	for _, bm := range benchmarks() {
 		if *set == "short" && !bm.short {

@@ -7,6 +7,8 @@
 //	ldssim -bench health -config stream -scale 0.5
 //	ldssim -bench xalancbmk,astar -config ecdp+throttle   # dual-core
 //	ldssim -bench mcf,mst,em3d,health -engine parallel     # parallel engine
+//	ldssim -bench mst -core ooo                           # speculative core
+//	ldssim -bench mst -core ooo -core-opts '{"predictor":"tage"}'
 //	ldssim -bench mst -spec spec.json                     # declarative spec
 //	ldssim -bench mst -spec '{"name":"x","components":[{"kind":"stream"}]}'
 //	ldssim -bench mst -trace /tmp/t                       # + JSONL telemetry
@@ -38,6 +40,11 @@
 // determinism guarantee — see DESIGN.md), so the knob is purely about
 // wall-clock time and is ignored for single-benchmark runs.
 //
+// -core selects the core timing model: interval (the default dependence-graph
+// model; byte-identical to pre-seam reports) or ooo (speculative out-of-order
+// with branch prediction and squashed wrong-path memory traffic). -core-opts
+// passes the model's typed options as JSON; -list-configs names them.
+//
 // -replay <file> runs a trace capture (ldstrace capture, format:
 // TRACEFORMAT.md) instead of generating a workload; the capture's
 // digest is verified on load and recorded in persisted manifests, and the
@@ -52,6 +59,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 
 	"ldsprefetch/internal/core"
@@ -90,6 +98,8 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	listConfigs := flag.Bool("list-configs", false, "list named configurations and registered components, then exit")
 	engine := flag.String("engine", "", "multi-core execution engine: serial (default) or parallel; reports are byte-identical")
+	coreKind := flag.String("core", "", "core timing model: interval (default) or ooo; see -list-configs")
+	coreOpts := flag.String("core-opts", "", "core model options as JSON (e.g. '{\"predictor\":\"tage\"}'); requires -core")
 	replay := flag.String("replay", "", "trace capture file to replay as the benchmark (overrides -bench)")
 	traceDir := flag.String("trace", "", "directory for interval/event JSONL traces (+ manifest)")
 	outDir := flag.String("out", "", "directory to persist the run summary (+ manifest)")
@@ -163,6 +173,13 @@ func main() {
 	}
 	setup.Trace = *traceDir != ""
 	setup.Engine = *engine
+	if *coreOpts != "" && *coreKind == "" {
+		fatal("ldssim: -core-opts requires -core (run 'ldssim -h' for usage)")
+	}
+	if *coreKind != "" {
+		c := sim.Component{Kind: *coreKind, Options: json.RawMessage(*coreOpts)}
+		setup.Core = &c
+	}
 	if err := setup.Validate(); err != nil {
 		fatal(fmt.Sprintf("ldssim: %v (run 'ldssim -h' for usage)", err))
 	}
@@ -235,6 +252,13 @@ func main() {
 	fmt.Fprintf(w, "IPC            %.4f\n", r.IPC)
 	fmt.Fprintf(w, "BPKI           %.2f\n", r.BPKI)
 	fmt.Fprintf(w, "L2 demand miss %d\n", r.DemandMisses)
+	if r.Branches > 0 {
+		fmt.Fprintf(w, "branches       %d (%d mispredicted)\n", r.Branches, r.Mispredicts)
+	}
+	if r.Mem.WrongPathAccesses > 0 {
+		fmt.Fprintf(w, "wrong-path     %d issued, %d to DRAM\n",
+			r.Mem.WrongPathAccesses, r.Mem.WrongPathToDRAM)
+	}
 	for src := prefetch.SrcStream; src < prefetch.NumSources; src++ {
 		if r.Issued[src] == 0 {
 			continue
@@ -333,8 +357,44 @@ func printConfigs() {
 		fmt.Printf("  %-10s v%-2d claims_throttle=%-5v min_switchable=%d\n",
 			in.Kind, in.Version, in.ClaimsThrottle, in.MinSwitchable)
 	}
+	fmt.Println("\ncore models (-core, or \"core\" in -spec):")
+	for _, kind := range registry.Cores() {
+		cm, _ := registry.LookupCore(kind)
+		def := ""
+		if kind == registry.DefaultCoreKind {
+			def = " (default)"
+		}
+		opts := strings.Join(optionFields(cm.NewOptions()), ", ")
+		if opts == "" {
+			opts = "none"
+		}
+		fmt.Printf("  %-10s v%-2d options: %s%s\n", kind, cm.Version, opts, def)
+	}
 	fmt.Println("\nworkloads (-bench):")
 	printWorkloads(os.Stdout)
+}
+
+// optionFields lists the JSON option names a registry options struct
+// accepts, so -list-configs documents each core model's typed knobs.
+func optionFields(opts any) []string {
+	t := reflect.TypeOf(opts)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct {
+		return nil
+	}
+	var names []string
+	for i := 0; i < t.NumField(); i++ {
+		tag, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if tag == "" {
+			tag = t.Field(i).Name
+		}
+		if tag != "-" {
+			names = append(names, tag)
+		}
+	}
+	return names
 }
 
 // cacheSummary reports cache provenance on stderr when a cache is in use.

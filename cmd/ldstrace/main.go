@@ -152,7 +152,7 @@ func infoCmd(args []string) {
 	if !*stats {
 		return
 	}
-	var loads, lds, stores, computes uint64
+	var loads, lds, stores, computes, branches, taken uint64
 	var instructions int64
 	for {
 		op, err := r.Next()
@@ -171,12 +171,18 @@ func infoCmd(args []string) {
 			}
 		case trace.Store:
 			stores++
+		case trace.Branch:
+			branches++
+			if op.Taken {
+				taken++
+			}
 		default:
 			computes++
 		}
 	}
 	fmt.Printf("loads     %d (%d LDS)\n", loads, lds)
 	fmt.Printf("stores    %d\n", stores)
+	fmt.Printf("branches  %d (%d taken)\n", branches, taken)
 	fmt.Printf("computes  %d (%d instructions total)\n", computes, instructions)
 	if err := r.Verify(); err != nil {
 		fatal("ldstrace info:", err)

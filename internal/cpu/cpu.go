@@ -1,14 +1,26 @@
-// Package cpu implements the timing model of one out-of-order core replaying
-// a dependence-annotated trace against a memory hierarchy.
+// Package cpu defines the core timing models that replay a
+// dependence-annotated trace against a memory hierarchy, and the Model seam
+// the simulator steps them through.
 //
-// The model is a dependence-graph (interval) simulation of the paper's
-// baseline core (Table 5): instructions enter a 256-instruction window in
-// program order at up to 4 per cycle, execute when their producer completes
-// (out-of-order completion), and retire in order at up to 4 per cycle.
-// Total cycles = retire time of the last instruction. This reproduces the
-// first-order property prefetching studies depend on: independent
-// (streaming) misses overlap up to the window/MSHR limits, while dependent
-// (pointer-chasing) misses serialize.
+// Two models exist, selectable per run through the `core` component of
+// sim.Spec (registered in internal/sim/registry):
+//
+//   - "interval" — the Interval model in this package, the default: a
+//     dependence-graph simulation with in-order issue (up to Width
+//     instructions per cycle into a Window-entry instruction window),
+//     out-of-order completion (an op executes when its producer's value is
+//     ready), and in-order retire. It models no control flow: branch ops
+//     are skipped for free, there is no speculation and no wrong-path
+//     memory traffic. This reproduces the first-order property prefetching
+//     studies depend on — independent (streaming) misses overlap up to the
+//     window/MSHR limits while dependent (pointer-chasing) misses
+//     serialize — at dependence-graph cost.
+//   - "ooo" — the speculative out-of-order model in internal/cpu/ooo: a
+//     fetch stage with a branch predictor (bimodal, gshare, or a small
+//     TAGE variant), out-of-order issue/retire over the same window, and
+//     misprediction-driven wrong-path memory accesses that genuinely reach
+//     the memory system (consuming MSHRs and DRAM bandwidth, polluting
+//     caches) before being squashed at branch resolve.
 //
 // Trace ops may batch several compute instructions (trace.Op.N); all
 // accounting — issue bandwidth, window occupancy, retire bandwidth, retired
@@ -21,7 +33,7 @@ import (
 	"ldsprefetch/internal/trace"
 )
 
-// Config parameterizes the core.
+// Config parameterizes a core.
 type Config struct {
 	// Window is the instruction window size (paper: 256).
 	Window int
@@ -38,6 +50,14 @@ type Result struct {
 	Cycles int64
 	// Retired is the number of retired instructions.
 	Retired int64
+	// Branches and Mispredicts count conditional branches retired and
+	// mispredicted. The interval model ignores branch ops entirely, so
+	// both stay zero there; only speculative models populate them.
+	Branches    int64
+	Mispredicts int64
+	// WrongPath counts speculative wrong-path memory accesses issued past
+	// mispredicted branches and later squashed (zero for interval).
+	WrongPath int64
 }
 
 // IPC returns retired instructions per cycle.
@@ -48,160 +68,37 @@ func (r Result) IPC() float64 {
 	return float64(r.Retired) / float64(r.Cycles)
 }
 
-// Core replays traces against a memory system. A Core may be stepped
-// incrementally (multi-core interleaving) or run to completion.
-type Core struct {
-	cfg Config
-	ms  *memsys.MemSys
-	tr  *trace.Trace
-
-	complete []int64 // completion time per op (producers are memory ops)
-
-	// Ring buffers over recent ops; every op carries ≥1 instruction, so
-	// any op within the instruction window is at most Window ops back.
-	retireRing []int64 // retire time per op
-	cumRing    []int64 // cumulative instruction count through each op
-
-	pos        int
-	windowTail int   // oldest op whose slots are still charged to the window
-	cumInstr   int64 // instructions up to and including op pos-1
-	issueSlots int64 // instruction issue slots consumed
-	retireSlot int64 // instruction retire slots consumed
-	lastIssue  int64
-	lastRetire int64
+// Model is the seam internal/sim (and the epoch-barrier engine in
+// internal/sim/engine) steps a core through. A model replays one trace
+// against one memory system; it may be stepped incrementally for multi-core
+// interleaving or run to completion.
+//
+// Contract (the engine relies on every clause):
+//
+//   - Done reports whether the whole trace has been replayed.
+//   - Now returns a monotonically non-decreasing lower bound on the
+//     model's current cycle (typically the last issue time).
+//   - Step replays up to n ops and returns the number replayed.
+//   - StepUntil replays ops until Now reaches horizon (or the trace ends)
+//     and returns the number replayed. The horizon is checked before each
+//     op: a model already at or past it replays nothing, while one behind
+//     it always makes progress. The clock may overshoot the horizon by the
+//     last op's stall; barrier ordering does not depend on where within an
+//     epoch a request was issued.
+//   - Result returns the run summary (valid once Done).
+type Model interface {
+	Done() bool
+	Now() int64
+	Step(n int) int
+	StepUntil(horizon int64) int
+	Result() Result
 }
 
-// NewCore prepares a replay of tr on ms.
-func NewCore(cfg Config, ms *memsys.MemSys, tr *trace.Trace) *Core {
-	if cfg.Window <= 0 {
-		cfg.Window = 256
-	}
-	if cfg.Width <= 0 {
-		cfg.Width = 4
-	}
-	ring := cfg.Window + 2
-	return &Core{
-		cfg:        cfg,
-		ms:         ms,
-		tr:         tr,
-		complete:   make([]int64, len(tr.Ops)),
-		retireRing: make([]int64, ring),
-		cumRing:    make([]int64, ring),
-	}
-}
-
-// Done reports whether the whole trace has been replayed.
-func (c *Core) Done() bool { return c.pos >= len(c.tr.Ops) }
-
-// Now returns a lower bound on the core's current cycle (the last issue
-// time); used to interleave cores fairly in multi-core simulation.
-func (c *Core) Now() int64 { return c.lastIssue }
-
-// Step replays up to n ops and returns the number replayed.
-func (c *Core) Step(n int) int {
-	return c.step(n, 1<<62)
-}
-
-// StepUntil replays ops until the core's issue clock reaches horizon (or the
-// trace ends) and returns the number replayed. The horizon is checked before
-// each op, so a core whose clock is already past it replays nothing, while a
-// core behind it always makes progress — the epoch-barrier engine relies on
-// both properties. The clock may overshoot the horizon by the last op's
-// issue-stall; the engine's barrier ordering does not depend on where within
-// an epoch a request was issued.
-func (c *Core) StepUntil(horizon int64) int {
-	return c.step(len(c.tr.Ops), horizon)
-}
-
-func (c *Core) step(n int, horizon int64) int {
-	ops := c.tr.Ops
-	width := int64(c.cfg.Width)
-	window := int64(c.cfg.Window)
-	ring := len(c.retireRing)
-	done := 0
-	for done < n && c.pos < len(ops) && c.lastIssue < horizon {
-		i := c.pos
-		op := &ops[i]
-		instr := op.Instructions()
-		cum := c.cumInstr + instr
-
-		// Issue bandwidth: Width instructions per cycle, in order.
-		t := c.issueSlots / width
-		if t < c.lastIssue {
-			t = c.lastIssue
-		}
-		// Window occupancy: instructions after the window tail must fit.
-		for cum-c.cumRing[c.windowTail%ring] > window && c.windowTail < i {
-			if r := c.retireRing[c.windowTail%ring]; r > t {
-				t = r
-			}
-			c.windowTail++
-		}
-		if adv := t * width; adv > c.issueSlots {
-			c.issueSlots = adv
-		}
-		c.issueSlots += instr
-		c.lastIssue = t
-
-		// Execute when the producer's value is ready.
-		exec := t
-		if op.Dep >= 0 {
-			if d := c.complete[op.Dep]; d > exec {
-				exec = d
-			}
-		}
-
-		var comp int64
-		switch op.Kind {
-		case trace.Compute:
-			lat := instr / width
-			if lat < 1 {
-				lat = 1
-			}
-			comp = exec + lat
-		case trace.Load:
-			comp = c.ms.Access(op.Addr, op.PC, true, op.LDS, exec)
-		case trace.Store:
-			// Apply the store's value in program order so block scans see
-			// time-accurate contents, then access for timing side effects.
-			c.ms.Mem().Write32(op.Addr, op.Val)
-			c.ms.Access(op.Addr, op.PC, false, false, exec)
-			comp = exec + 1 // store buffer: retirement does not wait
-		}
-		c.complete[i] = comp
-
-		// Retire: in order, Width instructions per cycle.
-		r := comp
-		if c.lastRetire > r {
-			r = c.lastRetire
-		}
-		if lb := c.retireSlot / width; lb > r {
-			r = lb
-		}
-		if adv := r * width; adv > c.retireSlot {
-			c.retireSlot = adv
-		}
-		c.retireSlot += instr
-		c.lastRetire = r
-
-		c.retireRing[i%ring] = r
-		c.cumRing[i%ring] = cum
-		c.cumInstr = cum
-
-		c.pos++
-		done++
-	}
-	return done
-}
-
-// Result returns the run summary (valid once Done).
-func (c *Core) Result() Result {
-	return Result{Cycles: c.lastRetire, Retired: c.cumInstr}
-}
-
-// Run replays tr to completion on ms and returns the result.
+// Run replays tr to completion on ms under the interval model and returns
+// the result. Profiling and hint collection use this directly; simulation
+// paths go through the registry-selected Model instead.
 func Run(cfg Config, ms *memsys.MemSys, tr *trace.Trace) Result {
-	c := NewCore(cfg, ms, tr)
+	c := NewInterval(cfg, ms, tr)
 	for !c.Done() {
 		c.Step(1 << 20)
 	}

@@ -119,7 +119,7 @@ func TestNowMonotonic(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		b.Load(1, mem.HeapBase+uint32(i)*4096, trace.NoDep, false)
 	}
-	c := NewCore(DefaultConfig(), newMS(), b.Trace())
+	c := NewInterval(DefaultConfig(), newMS(), b.Trace())
 	last := int64(-1)
 	for !c.Done() {
 		c.Step(16)

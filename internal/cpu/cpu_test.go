@@ -117,7 +117,7 @@ func TestStepIncremental(t *testing.T) {
 	b := trace.NewBuilder("inc", m, 0)
 	b.Compute(1000)
 	tr := b.Trace()
-	c := NewCore(DefaultConfig(), newMS(), tr)
+	c := NewInterval(DefaultConfig(), newMS(), tr)
 	total := 0
 	for !c.Done() {
 		total += c.Step(7)
@@ -156,13 +156,13 @@ func TestStepUntilMatchesRun(t *testing.T) {
 		return b.Trace()
 	}
 	msA := newMS()
-	ref := NewCore(DefaultConfig(), msA, build())
+	ref := NewInterval(DefaultConfig(), msA, build())
 	for !ref.Done() {
 		ref.Step(1 << 20)
 	}
 	for _, stride := range []int64{64, 4096, 1 << 40} {
 		ms := newMS()
-		c := NewCore(DefaultConfig(), ms, build())
+		c := NewInterval(DefaultConfig(), ms, build())
 		for !c.Done() {
 			before := c.Now()
 			c.StepUntil(before + stride)
@@ -187,7 +187,7 @@ func TestStepUntilPastHorizonIsNoop(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		b.Load(1, mem.HeapBase+uint32(i)*131072, trace.NoDep, false)
 	}
-	c := NewCore(DefaultConfig(), newMS(), b.Trace())
+	c := NewInterval(DefaultConfig(), newMS(), b.Trace())
 	c.StepUntil(1) // clock starts at 0 < 1: replays until issue clock ≥ 1
 	at := c.Now()
 	if n := c.StepUntil(at); n != 0 {

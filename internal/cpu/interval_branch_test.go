@@ -1,0 +1,73 @@
+package cpu
+
+import (
+	"testing"
+
+	"ldsprefetch/internal/mem"
+	"ldsprefetch/internal/trace"
+)
+
+// TestIntervalBranchTransparency pins the seam contract that lets workload
+// generators emit Branch ops without perturbing a single pre-seam golden
+// report: the interval model must produce an identical Result for a trace
+// with and without interleaved branches.
+func TestIntervalBranchTransparency(t *testing.T) {
+	m := mem.New()
+	const n = 120
+	nodes := make([]uint32, n)
+	for i := range nodes {
+		nodes[i] = mem.HeapBase + uint32(i)*131072 + uint32(i%8)*64
+	}
+	for i := 0; i < n-1; i++ {
+		m.Write32(nodes[i], nodes[i+1])
+	}
+
+	build := func(branches bool) *trace.Trace {
+		b := trace.NewBuilder("chase", m, 0)
+		ptr, dep := b.Load(0x100, nodes[0], trace.NoDep, true)
+		for i := 1; i < n; i++ {
+			b.Compute(3)
+			if branches {
+				b.Branch(0x108, 0x100, i%3 != 0, dep)
+			}
+			ptr, dep = b.Load(0x104, ptr, dep, true)
+			if branches {
+				b.Branch(0x10c, 0x104, ptr != 0, dep)
+			}
+		}
+		b.Store(0x110, nodes[0]+8, 7, dep)
+		if branches {
+			// A trailing branch exercises the end-of-trace skip path.
+			b.Branch(0x114, 0x100, false, trace.NoDep)
+		}
+		return b.Trace()
+	}
+
+	// Build both traces before replaying either: replay applies the store to
+	// the shared memory image, and the builds must see identical state.
+	plainTr, branchyTr := build(false), build(true)
+	plain := Run(DefaultConfig(), newMS(), plainTr)
+	branchy := Run(DefaultConfig(), newMS(), branchyTr)
+	if plain != branchy {
+		t.Fatalf("branches perturbed the interval model:\nwithout: %+v\nwith:    %+v", plain, branchy)
+	}
+
+	// The incremental paths must be equally transparent.
+	tr := branchyTr
+	c := NewInterval(DefaultConfig(), newMS(), tr)
+	for !c.Done() {
+		c.Step(7)
+	}
+	if got := c.Result(); got != plain {
+		t.Fatalf("Step replay with branches %+v != branchless run %+v", got, plain)
+	}
+	c = NewInterval(DefaultConfig(), newMS(), tr)
+	var horizon int64
+	for !c.Done() {
+		horizon += 1000
+		c.StepUntil(horizon)
+	}
+	if got := c.Result(); got != plain {
+		t.Fatalf("StepUntil replay with branches %+v != branchless run %+v", got, plain)
+	}
+}

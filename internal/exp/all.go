@@ -33,6 +33,7 @@ var Registry = []RegistryEntry{
 	{"sec74", "PAB best-prefetcher selection", one(Sec74)},
 	{"ablate", "design-choice sweeps (depth/thresholds/interval/hint cut)", Ablations},
 	{"serverfam", "server-class workload families (beyond the paper)", one(ServerFamilies)},
+	{"wrongpath", "prefetcher accuracy/bandwidth under wrong-path pollution (beyond the paper)", one(WrongPath)},
 }
 
 func one(f func(*Context) Report) func(*Context) []Report {

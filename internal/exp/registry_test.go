@@ -11,7 +11,7 @@ import (
 var registryOrder = []string{
 	"fig1", "fig2", "fig4", "fig7", "fig8", "fig9", "fig10", "table7",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "sec23", "sec3impl",
-	"sec616", "sec67", "sec72", "sec74", "ablate", "serverfam",
+	"sec616", "sec67", "sec72", "sec74", "ablate", "serverfam", "wrongpath",
 }
 
 func TestRegistryIDsUniqueAndStable(t *testing.T) {

@@ -201,6 +201,15 @@ type Stats struct {
 	PrefDropFilter   int64
 	Writebacks       int64
 	UselessEvicted   [prefetch.NumSources]int64
+
+	// Wrong-path speculation counters (AccessWrongPath; populated only by
+	// the speculative ooo core model). They are kept separate from the
+	// demand counters above so demand-derived metrics stay comparable
+	// across core models, and omitted from serialized results when zero so
+	// interval-model result encodings are byte-identical to before the
+	// counters existed.
+	WrongPathAccesses int64 `json:",omitempty"` // wrong-path loads issued
+	WrongPathToDRAM   int64 `json:",omitempty"` // of those, block fetches that went to DRAM
 }
 
 type sideLine struct {
@@ -583,6 +592,64 @@ func (ms *MemSys) Access(addr, pc uint32, isLoad, lds bool, now int64) int64 {
 		TriggerOff:    int(addr - blk),
 		TriggerIsLoad: isLoad,
 	})
+	return ready
+}
+
+// AccessWrongPath performs one speculative wrong-path load at cycle now: a
+// load fetched past a mispredicted branch that will be squashed at resolve.
+// The request is indistinguishable from a demand load to the memory system's
+// resources — it occupies MSHRs under the same capacity discipline, consumes
+// a DRAM request-buffer slot and bus bandwidth at demand priority, and its
+// fill is inserted into the L2 and L1 (displacing victims: pollution) — but
+// the core never waits on the returned completion time (squash), the
+// access-side demand statistics and feedback counters are not touched (only
+// the WrongPath* counters are), and prefetchers are not trained on it.
+// Eviction-side effects of its fills — writebacks, useless-prefetch
+// eviction, pollution attribution, feedback interval ticks — are real:
+// they are the mechanism by which wrong-path traffic pollutes. See
+// DESIGN.md for what is and isn't modeled.
+func (ms *MemSys) AccessWrongPath(addr uint32, now int64) int64 {
+	ms.stats.WrongPathAccesses++
+	blk := ms.l2.BlockAddr(addr)
+
+	// L1 hit: no resource consumed beyond the port.
+	if l := ms.l1.Lookup(addr, true); l != nil {
+		return max64(now, l.ReadyAt) + ms.cfg.L1Lat
+	}
+	t2 := now + ms.cfg.L1Lat
+
+	// L2 hit or merge with an in-flight fill. Unlike a true demand access,
+	// a wrong-path hit does not promote in-flight prefetches or credit
+	// prefetched lines as used — the attribution metrics count only
+	// committed consumers — but it does refresh recency (LRU pollution).
+	if l := ms.l2.Lookup(addr, true); l != nil {
+		complete := max64(t2, l.ReadyAt) + ms.cfg.L2Lat
+		ms.fillL1(addr, complete, false)
+		return complete
+	}
+
+	// Miss: fetch the block at demand priority under MSHR capacity.
+	reqT := t2 + ms.cfg.L2Lat
+	ms.mshr.PopLE(reqT)
+	if ms.cfg.MSHRs > 0 && len(ms.mshr) >= ms.cfg.MSHRs {
+		earliest := ms.mshr.Pop()
+		reqT = max64(reqT, earliest)
+	}
+	ms.stats.WrongPathToDRAM++
+	ready := ms.ctrl.Access(blk, reqT, true)
+	ms.mshr.Push(ready)
+	if ms.gauges {
+		ms.mshrGauge.Push(ready)
+	}
+
+	nl, victim, had := ms.l2.Insert(blk)
+	if had {
+		ms.handleVictim(victim, prefetch.SrcDemand, reqT)
+	}
+	nl.Used = true
+	nl.ReadyAt = ready
+	nl.IssuedAt = reqT
+	ms.fillL1(addr, ready, false)
 	return ready
 }
 

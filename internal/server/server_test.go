@@ -319,6 +319,12 @@ func TestSubmitSpecValidation(t *testing.T) {
 		{"misspelled option",
 			`{"benchmarks":["mst"],"specs":[{"name":"x","components":[{"kind":"stream","options":{"streems":4}}]}]}`,
 			"streems"},
+		{"unknown core model",
+			`{"benchmarks":["mst"],"specs":[{"name":"x","components":[{"kind":"stream"}],"core":{"kind":"quantum"}}]}`,
+			"known core models"},
+		{"bad core options",
+			`{"benchmarks":["mst"],"specs":[{"name":"x","components":[{"kind":"stream"}],"core":{"kind":"ooo","options":{"predictor":"psychic"}}}]}`,
+			"predictor"},
 		{"legacy setup throttle+fdp",
 			`{"benchmarks":["mst"],"setups":[{"Name":"x","Stream":true,"Throttle":true,"FDP":true}]}`,
 			"claim prefetcher aggressiveness control"},

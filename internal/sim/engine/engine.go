@@ -65,7 +65,7 @@ import (
 	"ldsprefetch/internal/dram"
 )
 
-// Core is one steppable core of a mix. cpu.Core implements it; tests may
+// Core is one steppable core of a mix. cpu.Model implementations satisfy it; tests may
 // substitute fakes.
 type Core interface {
 	// Done reports whether the core's trace is fully replayed.

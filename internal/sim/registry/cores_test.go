@@ -1,0 +1,121 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCoreCatalog(t *testing.T) {
+	got := Cores()
+	want := []string{"interval", "ooo"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Cores() = %v, want %v", got, want)
+	}
+	for _, kind := range got {
+		f, ok := LookupCore(kind)
+		if !ok {
+			t.Fatalf("LookupCore(%q) missed a cataloged kind", kind)
+		}
+		if f.Kind != kind || f.Version < 1 || f.NewOptions == nil || f.Build == nil {
+			t.Fatalf("core %q registration incomplete: %+v", kind, f)
+		}
+	}
+	if _, ok := LookupCore("bogus"); ok {
+		t.Fatal("LookupCore accepted an unregistered kind")
+	}
+	if DefaultCoreKind != "interval" {
+		t.Fatalf("default core kind %q; goldens and cache keys pin interval", DefaultCoreKind)
+	}
+}
+
+func TestUnknownCoreErrorCarriesCatalog(t *testing.T) {
+	err := &UnknownCoreError{Kind: "quantum"}
+	msg := err.Error()
+	for _, want := range []string{`"quantum"`, "known core models", "interval", "ooo"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestDecodeCoreOptions(t *testing.T) {
+	// Empty and null raw options mean factory defaults.
+	for _, raw := range []json.RawMessage{nil, json.RawMessage("null"), json.RawMessage("{}")} {
+		opts, err := DecodeCoreOptions("ooo", raw)
+		if err != nil {
+			t.Fatalf("defaults for raw %q: %v", raw, err)
+		}
+		if o := opts.(*OoOOptions); *o != (OoOOptions{}) {
+			t.Fatalf("raw %q decoded to non-defaults %+v", raw, o)
+		}
+	}
+	opts, err := DecodeCoreOptions("ooo", json.RawMessage(`{"predictor":"gshare","history_bits":14}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := opts.(*OoOOptions); o.Predictor != "gshare" || o.HistoryBits != 14 {
+		t.Fatalf("decoded %+v", o)
+	}
+
+	// Unknown kinds surface the typed catalog error.
+	_, err = DecodeCoreOptions("quantum", nil)
+	var unk *UnknownCoreError
+	if !errors.As(err, &unk) || unk.Kind != "quantum" {
+		t.Fatalf("err = %v, want UnknownCoreError{quantum}", err)
+	}
+
+	// Misspelled fields are errors, same contract as prefetcher options.
+	if _, err := DecodeCoreOptions("ooo", json.RawMessage(`{"predicter":"tage"}`)); err == nil {
+		t.Fatal("unknown option field accepted")
+	}
+	// The factory Validate runs during decode.
+	if _, err := DecodeCoreOptions("ooo", json.RawMessage(`{"predictor":"psychic"}`)); err == nil ||
+		!strings.Contains(err.Error(), "psychic") {
+		t.Fatalf("invalid predictor: err = %v, want mention of the bad value", err)
+	}
+}
+
+func TestCanonicalCoreOptionsNormalizes(t *testing.T) {
+	a, err := CanonicalCoreOptions("ooo", json.RawMessage(`{ "predictor" : "tage" }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalCoreOptions("ooo", json.RawMessage(`{"predictor":"tage"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("formatting split the canonical encoding: %s vs %s", a, b)
+	}
+	// Defaults canonicalize to the empty object (omitempty on every field),
+	// so "unset" and "explicitly default" produce identical cache keys.
+	c, err := CanonicalCoreOptions("ooo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c) != "{}" {
+		t.Fatalf("default ooo options canonicalize to %s, want {}", c)
+	}
+}
+
+func TestRegisterCoreSharesComponentNamespace(t *testing.T) {
+	cases := []string{"stream", "throttle", "interval"} // prefetcher, policy, core
+	for _, kind := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegisterCore(%q) did not panic on a namespace collision", kind)
+				}
+			}()
+			RegisterCore(&CoreModel{
+				Kind:       kind,
+				Version:    1,
+				NewOptions: func() any { return new(IntervalOptions) },
+				Build:      coreModels[DefaultCoreKind].Build,
+			})
+		}()
+	}
+}

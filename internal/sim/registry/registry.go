@@ -1,11 +1,13 @@
 // Package registry is the simulator's component catalog. Every prefetcher
-// (stream, cdp, markov, ghb, dbp) and every control policy (throttle, fdp,
-// pab, hwfilter) registers a named factory here, with its own typed,
-// versioned options; sim assembles a system by walking a declarative spec
-// and looking each component up instead of switching on booleans.
+// (stream, cdp, markov, ghb, dbp), every control policy (throttle, fdp,
+// pab, hwfilter), and every core timing model (interval, ooo) registers a
+// named factory here, with its own typed, versioned options; sim assembles
+// a system by walking a declarative spec and looking each component up
+// instead of switching on booleans.
 //
 // Adding a component is one file in this package: define an options struct,
-// call RegisterPrefetcher or RegisterPolicy from init, and write its tests.
+// call RegisterPrefetcher, RegisterPolicy, or RegisterCore from init, and
+// write its tests.
 // The spec validator, the cache-key encoder, the experiment definitions, the
 // CLIs, and the job server all consume the catalog generically — none of
 // them enumerate component kinds.
@@ -147,6 +149,9 @@ func checkRegistration(kind string, hasOptions, hasBuild bool) {
 	if _, ok := policies[kind]; ok {
 		panic(fmt.Sprintf("registry: duplicate component kind %q", kind))
 	}
+	if _, ok := coreModels[kind]; ok {
+		panic(fmt.Sprintf("registry: duplicate component kind %q", kind))
+	}
 }
 
 // LookupPrefetcher returns the prefetcher factory for kind.
@@ -234,6 +239,12 @@ func DecodeOptions(kind string, raw json.RawMessage) (any, error) {
 	if !ok {
 		return nil, &UnknownComponentError{Kind: kind}
 	}
+	return decodeInto(kind, newOptions, validate, raw)
+}
+
+// decodeInto is the shared decode/validate path behind DecodeOptions and
+// DecodeCoreOptions.
+func decodeInto(kind string, newOptions func() any, validate func(any) error, raw json.RawMessage) (any, error) {
 	opts := newOptions()
 	if len(raw) > 0 && !bytes.Equal(bytes.TrimSpace(raw), []byte("null")) {
 		dec := json.NewDecoder(bytes.NewReader(raw))

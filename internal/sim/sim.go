@@ -123,6 +123,12 @@ type Result struct {
 	BusTransfers int64
 	BPKI         float64
 
+	// Branches and Mispredicts are the speculative core model's branch
+	// counts (zero — and omitted from serialized results — under the
+	// default interval model, which ignores branch ops).
+	Branches    int64 `json:",omitempty"`
+	Mispredicts int64 `json:",omitempty"`
+
 	DemandMisses int64
 	// Accuracy and Coverage are the all-time per-prefetcher metrics.
 	Accuracy [prefetch.NumSources]float64
@@ -147,7 +153,7 @@ type Result struct {
 type system struct {
 	bench string
 	ms    *memsys.MemSys
-	core  *cpu.Core
+	core  cpu.Model
 	pgs   map[prefetch.PGKey]*pgCount
 	trace *telemetry.Trace
 }
@@ -276,7 +282,30 @@ func assemble(bench string, p workload.Params, sp Spec, ctrl *dram.Controller, c
 		c.Install()
 	}
 
-	sys := &system{bench: bench, ms: ms, core: cpu.NewCore(ccfg, ms, tr), trace: trc}
+	// The core timing model is the third registered component class: nil
+	// Spec.Core resolves to the default interval model, so pre-seam specs
+	// assemble exactly what they always did.
+	coreKind := registry.DefaultCoreKind
+	var coreRaw []byte
+	if sp.Core != nil {
+		coreKind = sp.Core.Kind
+		coreRaw = sp.Core.Options
+	}
+	cm, ok := registry.LookupCore(coreKind)
+	if !ok {
+		return nil, &SpecError{Spec: sp.Name, Component: coreKind, Err: ErrUnknownComponent,
+			Reason: (&registry.UnknownCoreError{Kind: coreKind}).Error()}
+	}
+	copts, err := registry.DecodeCoreOptions(coreKind, coreRaw)
+	if err != nil {
+		return nil, err // unreachable: Validate decoded these already
+	}
+	model, err := cm.Build(&registry.CoreEnv{MS: ms, Trace: tr, CPUCfg: ccfg}, copts)
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &system{bench: bench, ms: ms, core: model, trace: trc}
 	if rec != nil {
 		// All gauge hooks are pure reads of simulation state: tracing must not
 		// perturb the run. Occupancy gauges are separate mirror heaps, so
@@ -323,6 +352,8 @@ func (sys *system) result(setupName string, busTransfers int64) Result {
 		Cycles:       cr.Cycles,
 		Retired:      cr.Retired,
 		IPC:          cr.IPC(),
+		Branches:     cr.Branches,
+		Mispredicts:  cr.Mispredicts,
 		BusTransfers: busTransfers,
 		DemandMisses: int64(fb.DemandMisses.Raw()),
 		Mem:          sys.ms.Stats(),

@@ -154,6 +154,90 @@ func TestCanonicalFailsExactlyWhenValidateRejectsStructure(t *testing.T) {
 	}
 }
 
+// --- core component ---
+
+// TestCanonicalOmitsDefaultCore pins the seam's compatibility contract: a
+// spec with no Core and the same spec pinned explicitly to the default
+// interval model share one canonical encoding — and therefore one jobs cache
+// key (internal/jobs embeds Canonical in its key payload) — while a
+// non-default core changes it.
+func TestCanonicalOmitsDefaultCore(t *testing.T) {
+	base := NewSpec("seam", "stream", "cdp", "throttle")
+	cNone, err := base.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cInterval, err := base.WithCore("interval", nil).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cNone) != string(cInterval) {
+		t.Fatalf("explicit interval core changed the canonical encoding:\n%s\nvs\n%s", cNone, cInterval)
+	}
+	if strings.Contains(string(cNone), `"core"`) {
+		t.Fatalf("default core leaked into the canonical encoding: %s", cNone)
+	}
+
+	cOoO, err := base.WithCore("ooo", nil).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cOoO) == string(cNone) {
+		t.Fatal("ooo core did not change the canonical encoding; cache keys would collide")
+	}
+	if !strings.Contains(string(cOoO), `"ooo"`) {
+		t.Fatalf("ooo core missing from its canonical encoding: %s", cOoO)
+	}
+	// Option formatting must not split ooo cache keys.
+	cA, err := base.WithCore("ooo", registry.OoOOptions{Predictor: "tage"}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := base
+	c := Component{Kind: "ooo", Options: json.RawMessage(`{ "predictor" : "tage" }`)}
+	sp.Core = &c
+	cB, err := sp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cA) != string(cB) {
+		t.Fatalf("option formatting split the ooo canonical encoding:\n%s\nvs\n%s", cA, cB)
+	}
+}
+
+func TestValidateRejectsUnknownCore(t *testing.T) {
+	err := NewSpec("x", "stream").WithCore("quantum", nil).Validate()
+	if !errors.Is(err, ErrUnknownComponent) {
+		t.Fatalf("err = %v, want ErrUnknownComponent", err)
+	}
+	for _, want := range []string{"known core models", "interval", "ooo"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q not actionable (missing %q)", err, want)
+		}
+	}
+	// Canonical must fail the same way (it feeds cache keys).
+	if _, err := NewSpec("x", "stream").WithCore("quantum", nil).Canonical(); !errors.Is(err, ErrUnknownComponent) {
+		t.Fatalf("Canonical: err = %v, want ErrUnknownComponent", err)
+	}
+}
+
+func TestValidateRejectsBadCoreOptions(t *testing.T) {
+	err := NewSpec("x", "stream").
+		WithCore("ooo", registry.OoOOptions{Predictor: "psychic"}).Validate()
+	if !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("bad predictor: err = %v, want ErrBadOptions", err)
+	}
+	if !strings.Contains(err.Error(), "psychic") {
+		t.Fatalf("error does not name the bad value: %v", err)
+	}
+	sp := NewSpec("x", "stream")
+	c := Component{Kind: "ooo", Options: json.RawMessage(`{"predicter":"tage"}`)}
+	sp.Core = &c
+	if err := sp.Validate(); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("unknown option field: err = %v, want ErrBadOptions", err)
+	}
+}
+
 // --- JSON round-trip property ---
 
 // randomSpec draws a random valid-shaped spec: a subset of the catalog in
@@ -198,6 +282,15 @@ func randomSpec(rng *rand.Rand, i int) Spec {
 	if rng.Intn(4) == 0 {
 		lv := prefetch.AggLevel(rng.Intn(int(prefetch.Aggressive) + 1))
 		sp.InitialLevel = &lv
+	}
+	switch rng.Intn(4) {
+	case 0:
+		preds := []string{"", "bimodal", "gshare", "tage"}
+		c := NewComponent("ooo", registry.OoOOptions{Predictor: preds[rng.Intn(len(preds))]})
+		sp.Core = &c
+	case 1:
+		c := Component{Kind: "interval"}
+		sp.Core = &c
 	}
 	return sp
 }

@@ -28,6 +28,14 @@ const (
 	Load
 	// Store writes the 32-bit value Val to Addr when it executes.
 	Store
+	// Branch is a conditional branch at PC whose (taken-side) target is
+	// Addr; Taken records the resolved direction. A backward target
+	// (Addr < PC) is a loop back-edge, a forward target an exit/skip.
+	// Branch ops carry no data access: the dependence-graph core ignores
+	// them entirely (reports are unchanged by their presence), while the
+	// out-of-order core fetches, predicts and resolves them, generating
+	// wrong-path memory traffic on mispredictions.
+	Branch
 )
 
 func (k Kind) String() string {
@@ -38,6 +46,8 @@ func (k Kind) String() string {
 		return "load"
 	case Store:
 		return "store"
+	case Branch:
+		return "branch"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -48,20 +58,22 @@ const NoDep int32 = -1
 
 // Op is one micro-operation of the trace.
 type Op struct {
-	Addr uint32 // data address (Load/Store)
+	Addr uint32 // data address (Load/Store); taken-side target PC (Branch)
 	Val  uint32 // value stored (Store only)
 	Dep  int32  // index of producer op this op waits for, or NoDep
-	PC   uint32 // static instruction address (Load/Store)
-	// N is the number of instructions this op represents. Memory ops are
-	// always 1; Compute ops may batch up to MaxBatch instructions into one
-	// trace record, keeping traces compact while preserving a realistic
-	// instruction mix. Zero means 1.
+	PC   uint32 // static instruction address (Load/Store/Branch)
+	// N is the number of instructions this op represents. Memory ops and
+	// branches are always 1; Compute ops may batch up to MaxBatch
+	// instructions into one trace record, keeping traces compact while
+	// preserving a realistic instruction mix. Zero means 1.
 	N    uint8
 	Kind Kind
 	// LDS marks loads whose address was produced by following a pointer in
 	// a linked data structure. The Figure 1 "ideal LDS prefetching"
 	// experiment converts L2 misses of LDS loads into hits.
 	LDS bool
+	// Taken is the resolved direction of a Branch op.
+	Taken bool
 }
 
 // Instructions returns the instruction count of the op (N, minimum 1).
@@ -173,6 +185,18 @@ func (b *Builder) Store(pc, addr, val uint32, dep int32) int32 {
 	return idx
 }
 
+// Branch emits a conditional branch at pc with taken-side target and the
+// resolved direction taken, and returns its op index. dep is the index of the
+// load producing the branch condition (NoDep for branches whose condition is
+// register-resident, e.g. a counted loop's back-edge). Branches carry no
+// compute padding: they are part of the instruction mix the padding already
+// models, not an addition to it.
+func (b *Builder) Branch(pc, target uint32, taken bool, dep int32) int32 {
+	idx := int32(len(b.t.Ops))
+	b.t.Ops = append(b.t.Ops, Op{Kind: Branch, Addr: target, Dep: dep, PC: pc, Taken: taken})
+	return idx
+}
+
 // Trace finalizes the trace: the memory image is rewound to its pre-run
 // state (see Store) and the trace is returned. Further builder use after
 // Trace is a programming error.
@@ -193,6 +217,8 @@ type Stats struct {
 	Loads        int
 	Stores       int
 	Computes     int   // compute ops (each may batch many instructions)
+	Branches     int   // conditional branch ops
+	Taken        int   // branches whose resolved direction is taken
 	Instructions int64 // total instructions represented
 	LDSLoads     int
 }
@@ -211,6 +237,11 @@ func Summarize(t *Trace) Stats {
 			}
 		case Store:
 			s.Stores++
+		case Branch:
+			s.Branches++
+			if t.Ops[i].Taken {
+				s.Taken++
+			}
 		default:
 			s.Computes++
 		}
@@ -219,7 +250,8 @@ func Summarize(t *Trace) Stats {
 }
 
 // Validate checks structural invariants of a trace: dependence edges must
-// point backwards to memory operations, and loads/stores must carry PCs.
+// point backwards to load operations (so branches are never producers),
+// loads/stores/branches must carry PCs, and branches must carry targets.
 // It returns the first violation found, or nil.
 func Validate(t *Trace) error {
 	for i := range t.Ops {
@@ -233,7 +265,10 @@ func Validate(t *Trace) error {
 			}
 		}
 		if op.Kind != Compute && op.PC == 0 {
-			return fmt.Errorf("trace %s: memory op %d has zero PC", t.Name, i)
+			return fmt.Errorf("trace %s: op %d (%v) has zero PC", t.Name, i, op.Kind)
+		}
+		if op.Kind == Branch && op.Addr == 0 {
+			return fmt.Errorf("trace %s: branch op %d has zero target", t.Name, i)
 		}
 	}
 	return nil

@@ -11,7 +11,7 @@
 //
 //	offset  size  field
 //	0       8     magic "LDSTRC01"
-//	8       4     format version (currently 1)
+//	8       4     format version (currently 2)
 //	12      8     op count
 //	20      4     page count
 //	24      32    SHA-256 of metaJSON || body
@@ -44,8 +44,13 @@ import (
 	"ldsprefetch/internal/trace"
 )
 
-// FormatVersion is the current trace file format version.
-const FormatVersion = 1
+// FormatVersion is the current trace file format version. Version 2 added
+// branch op records (trace.Branch, kind bits 3, with the flagTaken direction
+// bit); version-1 captures contain no branches and remain readable.
+const FormatVersion = 2
+
+// minReadVersion is the oldest format version the reader still accepts.
+const minReadVersion = 1
 
 var magic = [8]byte{'L', 'D', 'S', 'T', 'R', 'C', '0', '1'}
 
@@ -96,6 +101,7 @@ const (
 	flagHasN     = 1 << 3
 	flagHasDep   = 1 << 4
 	flagHasVal   = 1 << 5
+	flagTaken    = 1 << 6 // branch direction (format version ≥ 2)
 )
 
 // zigzag encodes a signed 32-bit delta as an unsigned varint payload.
@@ -156,12 +162,15 @@ func (w *Writer) WriteOp(op trace.Op) error {
 	if w.wroteM || w.closed {
 		return fmt.Errorf("tracefile: WriteOp after WriteMem/Close")
 	}
-	if op.Kind > trace.Store {
+	if op.Kind > trace.Branch {
 		return fmt.Errorf("tracefile: op %d has unknown kind %d", w.ops, op.Kind)
 	}
 	flags := byte(op.Kind) & flagKindMask
 	if op.LDS {
 		flags |= flagLDS
+	}
+	if op.Kind == trace.Branch && op.Taken {
+		flags |= flagTaken
 	}
 	if op.N != 0 {
 		flags |= flagHasN
@@ -344,8 +353,8 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}
 	rd := &Reader{hr: &hashedByteReader{br: br, h: sha256.New()}}
 	rd.hdr.FormatVersion = binary.LittleEndian.Uint32(hdr[8:12])
-	if rd.hdr.FormatVersion != FormatVersion {
-		return nil, fmt.Errorf("tracefile: format version %d not supported (reader speaks %d)", rd.hdr.FormatVersion, FormatVersion)
+	if rd.hdr.FormatVersion < minReadVersion || rd.hdr.FormatVersion > FormatVersion {
+		return nil, fmt.Errorf("tracefile: format version %d not supported (reader speaks %d..%d)", rd.hdr.FormatVersion, minReadVersion, FormatVersion)
 	}
 	rd.hdr.OpCount = binary.LittleEndian.Uint64(hdr[opCountOff:])
 	rd.hdr.PageCount = binary.LittleEndian.Uint32(hdr[pageCountOff:])
@@ -378,11 +387,12 @@ func (r *Reader) Next() (trace.Op, error) {
 		return op, fmt.Errorf("tracefile: op %d: %w", r.read, err)
 	}
 	kind := trace.Kind(flags & flagKindMask)
-	if kind > trace.Store {
-		return op, fmt.Errorf("tracefile: op %d has unknown kind %d", r.read, kind)
+	if kind == trace.Branch && r.hdr.FormatVersion < 2 {
+		return op, fmt.Errorf("tracefile: op %d is a branch record in a version-%d capture", r.read, r.hdr.FormatVersion)
 	}
 	op.Kind = kind
 	op.LDS = flags&flagLDS != 0
+	op.Taken = kind == trace.Branch && flags&flagTaken != 0
 	op.Dep = trace.NoDep
 	if flags&flagHasN != 0 {
 		n, err := binary.ReadUvarint(r.hr)

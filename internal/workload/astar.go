@@ -27,6 +27,7 @@ const (
 	astarPCInsSt  = 0xb_0114 // insertion store of next pointer
 	astarPCHeadSt = 0xb_0118 // head update store
 	astarPCCellSt = 0xb_011c // store of a reinserted node's cell pointer
+	astarPCPopBr  = 0xb_0120 // pop-loop back-edge (taken while the list is non-empty)
 )
 
 // open node layout: cell@0, next@4, prio@8, pad (16 bytes).
@@ -60,8 +61,9 @@ func buildAstar(p Params) *trace.Trace {
 	b := bd.b
 	var recycled []uint32
 	for it := 0; it < pops; it++ {
-		// Pop the head.
+		// Pop the head; the loop branch depends on the head load.
 		node, ndep := b.Load(astarPCHead, headSlot, trace.NoDep, false)
+		b.Branch(astarPCPopBr, astarPCHead, node != 0, ndep)
 		if node == 0 {
 			break
 		}

@@ -25,6 +25,7 @@ const (
 	healthPCPatData = 0x7_0108 // patient timestamp load (the missing load)
 	healthPCPatNext = 0x7_010c // patient next chase
 	healthPCPatSt   = 0x7_0110 // patient timestamp update store
+	healthPCPatBr   = 0x7_0114 // patient loop back-edge (taken while next != 0)
 )
 
 // village layout: kids[4]@0..12, patients@16, pad (32 bytes).
@@ -97,7 +98,10 @@ func buildHealth(p Params) *trace.Trace {
 			kid, kdep := b.Load(healthPCKid, wordAddr(addr, k), dep, true)
 			walk(kid, kdep, step)
 		}
-		// Traverse this village's patient list.
+		// Traverse this village's patient list. The loop's back-edge
+		// branch depends on the next-pointer chase, so it resolves only
+		// when the chase completes — the exit misprediction sends the
+		// speculative core fetching past the list's end.
 		pat, pdep := b.Load(healthPCPat, addr+16, dep, true)
 		for pat != 0 {
 			b.Load(healthPCPatData, pat, pdep, true)
@@ -106,6 +110,7 @@ func buildHealth(p Params) *trace.Trace {
 				b.Store(healthPCPatSt, pat, uint32(step), pdep)
 			}
 			pat, pdep = b.Load(healthPCPatNext, pat+8, pdep, true)
+			b.Branch(healthPCPatBr, healthPCPatData, pat != 0, pdep)
 		}
 	}
 	for s := 0; s < steps; s++ {

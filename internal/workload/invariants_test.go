@@ -127,7 +127,8 @@ func TestTracesFitConfiguredHeaps(t *testing.T) {
 		tr := g.Build(Test())
 		for i := range tr.Ops {
 			op := &tr.Ops[i]
-			if op.Kind == trace.Compute {
+			if op.Kind == trace.Compute || op.Kind == trace.Branch {
+				// Branch Addr is a code target PC, not a data address.
 				continue
 			}
 			if op.Addr < mem.GlobalBase || op.Addr >= mem.StackBase+(1<<20) {

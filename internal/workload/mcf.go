@@ -23,6 +23,9 @@ const (
 	mcfPCArcTail  = 0xa_0104 // tail node pointer load (violating arcs only)
 	mcfPCNodePot  = 0xa_0108 // node potential load
 	mcfPCNodePred = 0xa_010c // basis-tree pred chase
+	mcfPCViolBr   = 0xa_0110 // pricing-predicate branch (taken: arc skipped)
+	mcfPCViolSkip = 0xa_0120 // forward target of the pricing branch
+	mcfPCWalkBr   = 0xa_0114 // basis-walk loop back-edge
 )
 
 // arc layout: cost@0, tail@4, head@8, nextout@12, nextin@16, flow@20,
@@ -72,7 +75,11 @@ func buildMCF(p Params) *trace.Trace {
 			for j := 0; j < group; j++ {
 				a := arcs[g*group+j]
 				cost, cdep := b.Load(mcfPCArcCost, a, trace.NoDep, false)
-				b.Compute(20)    // reduced-cost computation
+				b.Compute(20) // reduced-cost computation
+				// Pricing predicate: data-dependent on the cost load and
+				// usually taken (the arc is skipped) — the rare violating
+				// arcs are where a predictor mispredicts.
+				b.Branch(mcfPCViolBr, mcfPCViolSkip, cost%8 != 0, cdep)
 				if cost%8 != 0 { // ~12.5% of arcs violate and are explored
 					continue
 				}
@@ -83,6 +90,7 @@ func buildMCF(p Params) *trace.Trace {
 					b.Load(mcfPCNodePot, node, ndep, true)
 					b.Compute(40) // potential update along the basis path
 					node, ndep = b.Load(mcfPCNodePred, node+4, ndep, true)
+					b.Branch(mcfPCWalkBr, mcfPCNodePot, d+1 < 4 && node != 0, ndep)
 				}
 			}
 		}

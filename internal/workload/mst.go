@@ -26,6 +26,8 @@ const (
 	mstPCNext    = 0x5_0108 // ent->Next chase
 	mstPCData    = 0x5_010c // ent->D1 at the matching node
 	mstPCPayload = 0x5_0110 // dereference of the data payload
+	mstPCCmpBr   = 0x5_0114 // key-compare branch (taken: keep walking)
+	mstPCNullBr  = 0x5_0118 // null-check branch after the next chase
 )
 
 func buildMST(p Params) *trace.Trace {
@@ -82,16 +84,21 @@ func buildMST(p Params) *trace.Trace {
 		}
 		target := bd.rng.Intn(len(chain))
 
+		// The compare branch depends on the key load and the null-check
+		// branch on the next chase: both resolve only when the chain walk's
+		// loads return, the data-dependent control flow HashLookup exposes.
 		ent, dep := b.Load(mstPCBucket, wordAddr(buckets, bkt), trace.NoDep, false)
 		for pos := 0; ; pos++ {
-			_, _ = b.Load(mstPCKey, ent, dep, true) // ent->Key
-			b.Compute(60)                           // hash compare + bookkeeping per node
+			_, kdep := b.Load(mstPCKey, ent, dep, true) // ent->Key
+			b.Compute(60)                               // hash compare + bookkeeping per node
+			b.Branch(mstPCCmpBr, mstPCKey, pos != target, kdep)
 			if pos == target {
 				d1, d1dep := b.Load(mstPCData, ent+4, dep, true)
 				b.Load(mstPCPayload, d1, d1dep, true)
 				break
 			}
 			ent, dep = b.Load(mstPCNext, ent+12, dep, true)
+			b.Branch(mstPCNullBr, mstPCKey, ent != 0, dep)
 			if ent == 0 {
 				break
 			}

@@ -33,6 +33,7 @@ const (
 	btPCRecData  = 0x9_0218 // record payload load
 	btPCLeafNext = 0x9_021c // leaf chain chase
 	btPCStTouch  = 0x9_0220 // store: record access stamp
+	btPCScanBr   = 0x9_0224 // leaf-scan loop back-edge (taken while the window continues)
 )
 
 // Global word holding the root node pointer.
@@ -157,6 +158,9 @@ func buildBTree(p workload.Params) *trace.Trace {
 			}
 			b.Compute(16) // per-record filtering/serialization
 			visited++
+			// Scan-loop back-edge: the continue condition hangs off the
+			// record dereference, so it resolves with the scan's loads.
+			b.Branch(btPCScanBr, btPCLeafKey, rec+1 < nRecs && visited < scan, rdep)
 		}
 	}
 	return b.Trace()

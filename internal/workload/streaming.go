@@ -15,7 +15,10 @@ import "ldsprefetch/internal/trace"
 // these applications.
 
 // streamSweep emits one pass over [base, base+words*4): four loads per
-// 64-byte block with compute between them.
+// 64-byte block with compute between them. Each block iteration ends with
+// the counted loop's back-edge branch at pc+8 — register-resident condition
+// (no dep), taken on every iteration but the last, so any predictor above
+// static-not-taken tracks it almost perfectly.
 func streamSweep(b *trace.Builder, pc, base uint32, words int, store bool, stPC uint32) {
 	for i := 0; i < words; i += 16 {
 		for w := 0; w < 16; w += 4 {
@@ -25,6 +28,7 @@ func streamSweep(b *trace.Builder, pc, base uint32, words int, store bool, stPC 
 		if store {
 			b.Store(stPC, wordAddr(base, i), uint32(i), trace.NoDep)
 		}
+		b.Branch(pc+8, pc, i+16 < words, trace.NoDep)
 	}
 }
 
@@ -63,6 +67,7 @@ func init() {
 					}
 					b.Compute(480)
 					b.Store(0x21_0108, wordAddr(c, i), uint32(i), trace.NoDep)
+					b.Branch(0x21_010c, 0x21_0100, i+16 < words, trace.NoDep)
 				}
 			}
 			return b.Trace()
@@ -111,6 +116,7 @@ func init() {
 					if i%2 == 0 {
 						b.Store(0x23_0104, addr+8, uint32(i), trace.NoDep)
 					}
+					b.Branch(0x23_0108, 0x23_0100, i+1 < cells, trace.NoDep)
 				}
 			}
 			return b.Trace()
